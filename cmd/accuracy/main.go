@@ -1,0 +1,99 @@
+// Command accuracy regenerates the paper's Figure 2: the distribution
+// (box-and-whisker five-number summary) of the relative difference
+// ||G - G~||_F / ||G||_F between the Green's functions computed by the
+// classic QRP stratification (Algorithm 2) and the pre-pivoting variant
+// (Algorithm 3), over Green's function evaluations sampled from a running
+// DQMC simulation, for a range of interaction strengths U.
+//
+// The paper samples 1000 evaluations on a 16x16 lattice with L = 160
+// (beta = 32) and finds the differences clustered below 1e-12,
+// insensitive to U. Defaults here are scaled down for quick runs; use the
+// flags for paper-scale parameters.
+//
+// Usage:
+//
+//	accuracy [-nx 8] [-l 40] [-evals 200] [-us 2,3,4,5,6,7,8] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"questgo/internal/benchutil"
+	"questgo/internal/greens"
+	"questgo/internal/hubbard"
+	"questgo/internal/lattice"
+	"questgo/internal/mat"
+	"questgo/internal/rng"
+	"questgo/internal/stats"
+	"questgo/internal/update"
+)
+
+func main() {
+	nx := flag.Int("nx", 8, "linear lattice size (paper: 16)")
+	l := flag.Int("l", 40, "time slices (paper: 160, dtau = 0.2)")
+	evals := flag.Int("evals", 200, "Green's function evaluations per U (paper: 1000)")
+	usFlag := flag.String("us", "2,3,4,5,6,7,8", "interaction strengths")
+	clusterK := flag.Int("k", 10, "matrix clustering size")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	us, err := benchutil.ParseSizes(*usFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	dtau := 0.2
+	beta := dtau * float64(*l)
+	fmt.Printf("Figure 2: ||G - G~||_F/||G||_F distribution, %dx%d lattice, L=%d (beta=%g), %d evals per U\n\n",
+		*nx, *nx, *l, beta, *evals)
+	tbl := benchutil.NewTable("U", "min", "Q1", "median", "Q3", "max")
+	for _, u := range us {
+		diffs := sampleDiffs(*nx, float64(u), beta, *l, *clusterK, *evals, *seed)
+		s := stats.Summary(diffs)
+		tbl.AddRow(u,
+			fmt.Sprintf("%.2e", s.Min),
+			fmt.Sprintf("%.2e", s.Q1),
+			fmt.Sprintf("%.2e", s.Median),
+			fmt.Sprintf("%.2e", s.Q3),
+			fmt.Sprintf("%.2e", s.Max))
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+	fmt.Println("Expected shape (paper): medians ~1e-13..1e-12, maxima below ~1e-10,")
+	fmt.Println("no systematic dependence on U.")
+}
+
+// sampleDiffs runs a short DQMC simulation and, at every cluster boundary
+// of every sweep, evaluates G with both stratifications and records the
+// relative difference — the same sampling protocol as the paper (the
+// configurations come from the real Markov chain, not random fields).
+func sampleDiffs(nx int, u, beta float64, l, k, want int, seed uint64) []float64 {
+	lat := lattice.NewSquare(nx, nx, 1)
+	model, err := hubbard.NewModel(lat, u, 0, beta, l)
+	if err != nil {
+		panic(err)
+	}
+	prop := hubbard.NewPropagator(model)
+	r := rng.New(seed)
+	field := hubbard.NewRandomField(l, model.N(), r)
+	sw := update.NewSweeper(prop, field, r, update.Options{ClusterK: k, PrePivot: true})
+
+	cs := func(sigma hubbard.Spin) *greens.ClusterSet {
+		return greens.NewClusterSet(prop, field, sigma, sw.ClusterK())
+	}
+	var diffs []float64
+	for len(diffs) < want {
+		sw.Sweep()
+		// Compare at every cluster boundary of the current field.
+		csUp := cs(hubbard.Up)
+		for c := 0; c < csUp.NC && len(diffs) < want; c++ {
+			g2 := csUp.GreenAt(c, false)
+			g3 := csUp.GreenAt(c, true)
+			diffs = append(diffs, mat.RelDiff(g3, g2))
+		}
+	}
+	return diffs
+}

@@ -1,0 +1,195 @@
+// Command dqmc runs a full DQMC simulation of the Hubbard model, the
+// QUEST-equivalent driver. Parameters come from a QUEST-style input file
+// and/or command-line flags (flags win). It prints the physical
+// observables with error bars and the Table-I-style phase profile.
+//
+// Usage:
+//
+//	dqmc [-in run.in] [-nx 4] [-ny 4] [-layers 1] [-u 4] [-mu 0]
+//	     [-beta 2] [-l 10] [-warm 50] [-meas 100] [-k 10] [-seed 1]
+//	     [-prepivot] [-progress]
+//
+// Example input file:
+//
+//	nx = 8
+//	ny = 8
+//	u = 2
+//	beta = 8
+//	l = 40
+//	warm = 200
+//	meas = 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"questgo"
+)
+
+func main() {
+	in := flag.String("in", "", "QUEST-style input file")
+	nx := flag.Int("nx", 0, "lattice x size")
+	ny := flag.Int("ny", 0, "lattice y size")
+	layers := flag.Int("layers", 0, "number of planes")
+	tperp := flag.Float64("tperp", -1, "inter-layer hopping")
+	u := flag.Float64("u", -1, "interaction U")
+	mu := flag.Float64("mu", 0, "chemical potential (set with -setmu)")
+	setMu := flag.Bool("setmu", false, "override mu from flags")
+	beta := flag.Float64("beta", -1, "inverse temperature")
+	l := flag.Int("l", 0, "time slices")
+	warm := flag.Int("warm", -1, "warmup sweeps")
+	meas := flag.Int("meas", -1, "measurement sweeps")
+	k := flag.Int("k", 0, "matrix clustering size")
+	seed := flag.Uint64("seed", 0, "RNG seed (0 keeps default)")
+	qrp := flag.Bool("qrp", false, "use Algorithm 2 (QRP) instead of pre-pivoting")
+	dynamics := flag.Bool("dynamics", false, "measure time-displaced G(d,tau) as well")
+	progress := flag.Bool("progress", false, "print per-sweep progress")
+	jsonOut := flag.String("json", "", "also write results as JSON to this file")
+	walkers := flag.Int("walkers", 1, "independent parallel Markov chains to merge")
+	ckptOut := flag.String("checkpoint", "", "write a restart file here after the run")
+	resume := flag.String("resume", "", "resume the Markov chain from this restart file")
+	flag.Parse()
+
+	cfg := questgo.DefaultConfig()
+	if *in != "" {
+		var err error
+		cfg, err = questgo.LoadConfig(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dqmc:", err)
+			os.Exit(1)
+		}
+	}
+	if *nx > 0 {
+		cfg.Nx = *nx
+	}
+	if *ny > 0 {
+		cfg.Ny = *ny
+	}
+	if *layers > 0 {
+		cfg.Layers = *layers
+	}
+	if *tperp >= 0 {
+		cfg.Tperp = *tperp
+	}
+	if *u >= 0 {
+		cfg.U = *u
+	}
+	if *setMu {
+		cfg.Mu = *mu
+	}
+	if *beta > 0 {
+		cfg.Beta = *beta
+	}
+	if *l > 0 {
+		cfg.L = *l
+	}
+	if *warm >= 0 {
+		cfg.WarmSweeps = *warm
+	}
+	if *meas > 0 {
+		cfg.MeasSweeps = *meas
+	}
+	if *k > 0 {
+		cfg.ClusterK = *k
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *qrp {
+		cfg.PrePivot = false
+	}
+	if *dynamics {
+		cfg.MeasureDynamics = true
+	}
+
+	var sim *questgo.Simulation
+	var err error
+	if *resume != "" {
+		ck, lerr := questgo.LoadCheckpoint(*resume)
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, "dqmc:", lerr)
+			os.Exit(1)
+		}
+		// Flags/input override the schedule for the continuation.
+		ck.Config.WarmSweeps = cfg.WarmSweeps
+		ck.Config.MeasSweeps = cfg.MeasSweeps
+		cfg = ck.Config
+		sim, err = questgo.Resume(ck)
+	} else {
+		sim, err = questgo.NewSimulation(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dqmc:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("DQMC: %dx%dx%d sites, U=%g mu=%g beta=%g L=%d (dtau=%g), k=%d, prepivot=%v\n",
+		cfg.Nx, cfg.Ny, cfg.Layers, cfg.U, cfg.Mu, cfg.Beta, cfg.L,
+		cfg.Beta/float64(cfg.L), cfg.ClusterK, cfg.PrePivot)
+	fmt.Printf("Schedule: %d warmup + %d measurement sweeps, seed %d\n\n",
+		cfg.WarmSweeps, cfg.MeasSweeps, cfg.Seed)
+
+	var cb func(questgo.Progress)
+	if *progress {
+		cb = func(p questgo.Progress) {
+			if p.Sweep%10 == 0 || p.Sweep == p.Total {
+				fmt.Fprintf(os.Stderr, "\r%s %d/%d", p.Stage, p.Sweep, p.Total)
+				if p.Sweep == p.Total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	var res *questgo.Results
+	if *walkers > 1 {
+		if *resume != "" {
+			fmt.Fprintln(os.Stderr, "dqmc: -walkers cannot combine with -resume")
+			os.Exit(1)
+		}
+		res, err = questgo.RunParallel(cfg, *walkers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dqmc:", err)
+			os.Exit(1)
+		}
+	} else {
+		res = sim.RunProgress(cb)
+	}
+
+	fmt.Println("Observables (per site):")
+	fmt.Printf("  density        %10.6f +- %.6f\n", res.Density, res.DensityErr)
+	fmt.Printf("  double occ.    %10.6f +- %.6f\n", res.DoubleOcc, res.DoubleOccErr)
+	fmt.Printf("  kinetic energy %10.6f +- %.6f\n", res.Kinetic, res.KineticErr)
+	fmt.Printf("  potential U*d  %10.6f +- %.6f\n", res.Potential, res.PotentialErr)
+	fmt.Printf("  local moment   %10.6f +- %.6f\n", res.LocalMoment, res.LocalMomentErr)
+	fmt.Printf("  S(pi,pi)       %10.6f +- %.6f\n", res.SAF, res.SAFErr)
+	if len(res.LayerDensity) > 1 {
+		fmt.Printf("  layer densities %v\n", res.LayerDensity)
+	}
+	fmt.Printf("\nMonte Carlo: <sign> = %.4f, acceptance = %.3f, max wrap drift = %.2e\n",
+		res.AvgSign, res.Acceptance, res.MaxWrapDrift)
+	if len(res.DisplacedTaus) > 0 {
+		fmt.Println("\nTime-displaced local Green's function:")
+		dtau := cfg.Beta / float64(cfg.L)
+		for i, l := range res.DisplacedTaus {
+			fmt.Printf("  G(0, tau=%.3f) = %.5f +- %.5f\n",
+				dtau*float64(l), res.GdTau[i][0], res.GdTauErr[i][0])
+		}
+	}
+	fmt.Println("\nTable I profile:")
+	fmt.Print(res.Prof.Table())
+	if *jsonOut != "" {
+		if err := res.SaveJSON(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dqmc: json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nresults written to %s\n", *jsonOut)
+	}
+	if *ckptOut != "" && *walkers <= 1 {
+		if err := sim.Checkpoint().Save(*ckptOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dqmc: checkpoint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ncheckpoint written to %s\n", *ckptOut)
+	}
+}

@@ -1,0 +1,154 @@
+// Command extrapolate removes the two systematic errors of a DQMC study:
+//
+//	-mode trotter     runs the same system at several Trotter steps and
+//	                  fits observable(dtau) = y0 + c*dtau^2, reporting the
+//	                  dtau -> 0 limit (the continuous-time value);
+//	-mode finitesize  runs several lattice sizes and fits
+//	                  observable(L) = y_inf + c/L, reporting the bulk
+//	                  limit — the paper's Figure 7 methodology for
+//	                  deciding whether antiferromagnetic order survives
+//	                  as N -> infinity.
+//
+// Usage:
+//
+//	extrapolate -mode trotter -obs docc -ls 8,16,32 -nx 4 -u 4 -beta 2
+//	extrapolate -mode finitesize -obs saf -sizes 4,6,8 -u 4 -beta 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"questgo"
+	"questgo/internal/benchutil"
+	"questgo/internal/stats"
+)
+
+func main() {
+	mode := flag.String("mode", "trotter", "trotter or finitesize")
+	obs := flag.String("obs", "docc", "observable: docc, kinetic, moment, saf, czzmax")
+	lsFlag := flag.String("ls", "8,16,32", "slice counts for -mode trotter")
+	sizesFlag := flag.String("sizes", "4,6,8", "lattice sizes for -mode finitesize")
+	nx := flag.Int("nx", 4, "lattice size (trotter mode)")
+	u := flag.Float64("u", 4, "interaction")
+	beta := flag.Float64("beta", 2, "inverse temperature")
+	dtau := flag.Float64("dtau", 0.1, "Trotter step (finitesize mode)")
+	warm := flag.Int("warm", 100, "warmup sweeps")
+	meas := flag.Int("meas", 400, "measurement sweeps")
+	walkers := flag.Int("walkers", 1, "parallel chains per point")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	pick := func(res *questgo.Results) (float64, float64) {
+		switch strings.ToLower(*obs) {
+		case "docc":
+			return res.DoubleOcc, res.DoubleOccErr
+		case "kinetic":
+			return res.Kinetic, res.KineticErr
+		case "moment":
+			return res.LocalMoment, res.LocalMomentErr
+		case "saf":
+			return res.SAF, res.SAFErr
+		case "czzmax":
+			nxc := res.Config.Nx
+			h := nxc / 2
+			return res.Czz[h+nxc*h], res.CzzErr[h+nxc*h]
+		}
+		fmt.Fprintf(os.Stderr, "extrapolate: unknown observable %q\n", *obs)
+		os.Exit(1)
+		return 0, 0
+	}
+
+	run := func(cfg questgo.Config) *questgo.Results {
+		var res *questgo.Results
+		var err error
+		if *walkers > 1 {
+			res, err = questgo.RunParallel(cfg, *walkers)
+		} else {
+			var sim *questgo.Simulation
+			sim, err = questgo.NewSimulation(cfg)
+			if err == nil {
+				res = sim.Run()
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "extrapolate:", err)
+			os.Exit(1)
+		}
+		return res
+	}
+
+	switch strings.ToLower(*mode) {
+	case "trotter":
+		ls, err := benchutil.ParseSizes(*lsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "extrapolate:", err)
+			os.Exit(1)
+		}
+		var dtaus, vals, errs []float64
+		tbl := benchutil.NewTable("L", "dtau", *obs)
+		for _, l := range ls {
+			cfg := questgo.DefaultConfig()
+			cfg.Nx, cfg.Ny = *nx, *nx
+			cfg.U, cfg.Beta, cfg.L = *u, *beta, l
+			cfg.WarmSweeps, cfg.MeasSweeps = *warm, *meas
+			cfg.Seed = *seed
+			fmt.Fprintf(os.Stderr, "running L = %d...\n", l)
+			res := run(cfg)
+			v, e := pick(res)
+			d := *beta / float64(l)
+			dtaus = append(dtaus, d)
+			vals = append(vals, v)
+			errs = append(errs, maxf(e, 1e-12))
+			tbl.AddRow(l, fmt.Sprintf("%.4f", d), fmt.Sprintf("%.5f+-%.5f", v, e))
+		}
+		tbl.Render(os.Stdout)
+		y0, y0err, err := stats.TrotterExtrapolate(dtaus, vals, errs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "extrapolate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ndtau -> 0 extrapolation: %s = %.5f +- %.5f\n", *obs, y0, y0err)
+	case "finitesize":
+		sizes, err := benchutil.ParseSizes(*sizesFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "extrapolate:", err)
+			os.Exit(1)
+		}
+		var vals, errs []float64
+		tbl := benchutil.NewTable("Lx", *obs)
+		for _, s := range sizes {
+			cfg := questgo.DefaultConfig()
+			cfg.Nx, cfg.Ny = s, s
+			cfg.U, cfg.Beta = *u, *beta
+			cfg.L = int(*beta / *dtau)
+			cfg.WarmSweeps, cfg.MeasSweeps = *warm, *meas
+			cfg.Seed = *seed
+			fmt.Fprintf(os.Stderr, "running %dx%d...\n", s, s)
+			res := run(cfg)
+			v, e := pick(res)
+			vals = append(vals, v)
+			errs = append(errs, maxf(e, 1e-12))
+			tbl.AddRow(s, fmt.Sprintf("%.5f+-%.5f", v, e))
+		}
+		tbl.Render(os.Stdout)
+		yInf, yErr, err := stats.FiniteSizeExtrapolate(sizes, vals, errs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "extrapolate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nL -> infinity extrapolation: %s = %.5f +- %.5f\n", *obs, yInf, yErr)
+	default:
+		fmt.Fprintf(os.Stderr, "extrapolate: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+// Command figures regenerates the physics figures of the paper's
+// Section V from full DQMC simulations:
+//
+//	-fig=5  momentum distribution <n_k> along the symmetry path
+//	        (0,0) -> (pi,pi) -> (pi,0) -> (0,0) for several lattice sizes
+//	-fig=6  <n_k> on the full momentum grid for two lattice sizes
+//	        (the paper's color contour data), rendered as data + ASCII map
+//	-fig=7  C_zz(r) maps for two lattice sizes (AF checkerboard)
+//
+// Simulation parameters follow the paper (rho = 1, U = 2) with reduced
+// beta/size defaults; use flags for paper-scale runs (-beta 32 -l 160
+// -sizes 16,20,24,28,32 -warm 1000 -meas 2000).
+//
+// Usage:
+//
+//	figures -fig=5 [-sizes 8,12] [-u 2] [-beta 4] [-l 20] [-warm 50]
+//	        [-meas 100] [-out dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"questgo"
+	"questgo/internal/benchutil"
+)
+
+func main() {
+	fig := flag.Int("fig", 5, "figure to regenerate (5, 6 or 7)")
+	sizesFlag := flag.String("sizes", "", "lattice linear sizes (default per figure)")
+	u := flag.Float64("u", 2, "interaction strength (paper: 2)")
+	beta := flag.Float64("beta", 4, "inverse temperature (paper: 32)")
+	l := flag.Int("l", 20, "time slices (paper: 160)")
+	warm := flag.Int("warm", 50, "warmup sweeps (paper: 1000)")
+	meas := flag.Int("meas", 100, "measurement sweeps (paper: 2000)")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	out := flag.String("out", "", "directory for data files (default: stdout only)")
+	flag.Parse()
+
+	def := map[int]string{5: "8,12", 6: "8,12", 7: "8,12"}[*fig]
+	if def == "" {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %d\n", *fig)
+		os.Exit(1)
+	}
+	if *sizesFlag == "" {
+		*sizesFlag = def
+	}
+	sizes, err := benchutil.ParseSizes(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	for _, nx := range sizes {
+		if nx%2 != 0 {
+			fmt.Fprintf(os.Stderr, "figures: lattice size %d must be even\n", nx)
+			os.Exit(1)
+		}
+	}
+
+	results := make(map[int]*questgo.Results)
+	for _, nx := range sizes {
+		cfg := questgo.DefaultConfig()
+		cfg.Nx, cfg.Ny = nx, nx
+		cfg.U = *u
+		cfg.Beta = *beta
+		cfg.L = *l
+		cfg.WarmSweeps, cfg.MeasSweeps = *warm, *meas
+		cfg.Seed = *seed
+		sim, err := questgo.NewSimulation(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "running %dx%d (U=%g beta=%g L=%d)...\n", nx, nx, *u, *beta, *l)
+		results[nx] = sim.Run()
+	}
+
+	switch *fig {
+	case 5:
+		figure5(sizes, results, *out)
+	case 6:
+		figure6(sizes, results, *out)
+	case 7:
+		figure7(sizes, results, *out)
+	}
+}
+
+func figure5(sizes []int, results map[int]*questgo.Results, out string) {
+	fmt.Println("Figure 5: <n_k> along (0,0) -> (pi,pi) -> (pi,0) -> (0,0)")
+	for _, nx := range sizes {
+		res := results[nx]
+		sim, _ := questgo.NewSimulation(res.Config) // rebuild lattice for the path
+		idx, arc := sim.Lattice().SymmetryPath()
+		fmt.Printf("\n# %dx%d lattice: arc  n(k)  err\n", nx, nx)
+		var sb strings.Builder
+		for p, id := range idx {
+			line := fmt.Sprintf("%8.4f  %8.5f  %.5f", arc[p], res.Nk[id], res.NkErr[id])
+			fmt.Println(line)
+			sb.WriteString(line + "\n")
+		}
+		writeFile(out, fmt.Sprintf("fig5_nk_path_%dx%d.dat", nx, nx), sb.String())
+	}
+	fmt.Println("\nExpected shape (paper): n(k) ~1 near (0,0), sharp drop near the")
+	fmt.Println("midpoint of (0,0)->(pi,pi) (the Fermi surface at half filling),")
+	fmt.Println("~0 at (pi,pi); larger lattices resolve the drop more finely.")
+}
+
+func figure6(sizes []int, results map[int]*questgo.Results, out string) {
+	fmt.Println("Figure 6: <n_k> on the full momentum grid")
+	for _, nx := range sizes {
+		res := results[nx]
+		fmt.Printf("\n# %dx%d lattice (rows ky, cols kx, grid order)\n", nx, nx)
+		var sb strings.Builder
+		for ky := 0; ky < nx; ky++ {
+			cells := make([]string, nx)
+			for kx := 0; kx < nx; kx++ {
+				cells[kx] = fmt.Sprintf("%6.3f", res.Nk[kx+nx*ky])
+			}
+			line := strings.Join(cells, " ")
+			fmt.Println(line)
+			sb.WriteString(line + "\n")
+		}
+		fmt.Println("\nASCII contour (# filled, . empty):")
+		fmt.Print(asciiMap(res.Nk, nx, 0.5))
+		writeFile(out, fmt.Sprintf("fig6_nk_grid_%dx%d.dat", nx, nx), sb.String())
+	}
+	fmt.Println("\nExpected shape (paper): filled diamond around (0,0) bounded by the")
+	fmt.Println("|kx|+|ky| = pi Fermi surface; the larger grid resolves it sharply.")
+}
+
+func figure7(sizes []int, results map[int]*questgo.Results, out string) {
+	fmt.Println("Figure 7: C_zz(r) spin-spin correlation maps")
+	for _, nx := range sizes {
+		res := results[nx]
+		fmt.Printf("\n# %dx%d lattice (rows dy, cols dx)\n", nx, nx)
+		var sb strings.Builder
+		for dy := 0; dy < nx; dy++ {
+			cells := make([]string, nx)
+			for dx := 0; dx < nx; dx++ {
+				cells[dx] = fmt.Sprintf("%+8.4f", res.Czz[dx+nx*dy])
+			}
+			line := strings.Join(cells, " ")
+			fmt.Println(line)
+			sb.WriteString(line + "\n")
+		}
+		fmt.Println("\nSign checkerboard (+/-):")
+		for dy := 0; dy < nx; dy++ {
+			var row strings.Builder
+			for dx := 0; dx < nx; dx++ {
+				if res.Czz[dx+nx*dy] >= 0 {
+					row.WriteByte('+')
+				} else {
+					row.WriteByte('-')
+				}
+			}
+			fmt.Println(row.String())
+		}
+		fmt.Printf("S(pi,pi) = %.4f +- %.4f\n", res.SAF, res.SAFErr)
+		writeFile(out, fmt.Sprintf("fig7_czz_%dx%d.dat", nx, nx), sb.String())
+	}
+	fmt.Println("\nExpected shape (paper): antiferromagnetic checkerboard — C_zz")
+	fmt.Println("alternates sign with |dx+dy| parity; amplitude decays with distance.")
+}
+
+func asciiMap(v []float64, nx int, threshold float64) string {
+	var sb strings.Builder
+	for ky := 0; ky < nx; ky++ {
+		for kx := 0; kx < nx; kx++ {
+			if v[kx+nx*ky] >= threshold {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func writeFile(dir, name, content string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

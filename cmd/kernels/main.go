@@ -1,0 +1,84 @@
+// Command kernels regenerates the paper's Figure 1: throughput (GFlop/s)
+// of the three dense kernels that dominate the Green's function
+// evaluation — DGEMM (matrix-matrix product), DGEQRF (blocked QR) and
+// DGEQP3 (QR with column pivoting) — as a function of matrix size.
+//
+// The paper's point is the ordering GEMM > QR >> QRP: pivoting serializes
+// on level-2 column-norm updates. The same ordering must appear here.
+//
+// Usage:
+//
+//	kernels [-sizes 128,256,384,512,768,1024] [-reps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"questgo/internal/benchutil"
+	"questgo/internal/blas"
+	"questgo/internal/lapack"
+	"questgo/internal/mat"
+	"questgo/internal/rng"
+)
+
+func main() {
+	sizesFlag := flag.String("sizes", "128,256,384,512,768,1024", "comma-separated matrix sizes")
+	reps := flag.Int("reps", 3, "minimum repetitions per timing")
+	flag.Parse()
+
+	sizes, err := benchutil.ParseSizes(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Figure 1: dense kernel throughput (GFlop/s) vs matrix size")
+	fmt.Println()
+	tbl := benchutil.NewTable("N", "DGEMM", "DGEQRF", "DGEQP3", "QRP/QR")
+	r := rng.New(7)
+	for _, n := range sizes {
+		a := randomMatrix(r, n)
+		b := randomMatrix(r, n)
+		c := mat.New(n, n)
+
+		gemmSec := benchutil.TimeIt(*reps, 200*time.Millisecond, func() {
+			blas.Gemm(false, false, 1, a, b, 0, c)
+		})
+		work := a.Clone()
+		qrSec := benchutil.TimeIt(*reps, 200*time.Millisecond, func() {
+			work.CopyFrom(a)
+			lapack.QRFactor(work)
+		})
+		qrpSec := benchutil.TimeIt(*reps, 200*time.Millisecond, func() {
+			work.CopyFrom(a)
+			lapack.QRPFactor(work)
+		})
+
+		gemmGF := benchutil.GFlops(benchutil.GemmFlops(n), gemmSec)
+		qrGF := benchutil.GFlops(benchutil.QRFlops(n), qrSec)
+		qrpGF := benchutil.GFlops(benchutil.QRFlops(n), qrpSec)
+		tbl.AddRow(n,
+			fmt.Sprintf("%7.2f", gemmGF),
+			fmt.Sprintf("%7.2f", qrGF),
+			fmt.Sprintf("%7.2f", qrpGF),
+			fmt.Sprintf("%5.2f", qrpGF/qrGF))
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+	fmt.Println("Expected shape (paper, Westmere 12-core): DGEMM > DGEQRF >> DGEQP3,")
+	fmt.Println("with the QRP/QR ratio well below 1 and shrinking as N grows.")
+}
+
+func randomMatrix(r *rng.Rand, n int) *mat.Dense {
+	m := mat.New(n, n)
+	for j := 0; j < n; j++ {
+		col := m.Col(j)
+		for i := range col {
+			col[i] = 2*r.Float64() - 1
+		}
+	}
+	return m
+}

@@ -1,0 +1,140 @@
+// Command sweep scans a physical parameter (beta, u, mu, tprime or tperp)
+// across a list of values, running a full DQMC simulation (optionally
+// several parallel walkers) at each point and tabulating the observables —
+// the workflow behind finite-size/temperature studies like the paper's
+// Figure 7 extrapolation discussion.
+//
+// Usage:
+//
+//	sweep -scan beta -values 1,2,3,4 [-nx 4] [-u 4] [-walkers 2] [-chi]
+//	sweep -scan u -values 0,2,4,6 -beta 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"questgo"
+	"questgo/internal/benchutil"
+	"questgo/internal/core"
+)
+
+func main() {
+	scan := flag.String("scan", "beta", "parameter to scan: beta, u, mu, tprime, tperp")
+	valuesFlag := flag.String("values", "1,2,3", "comma-separated parameter values")
+	nx := flag.Int("nx", 4, "lattice linear size")
+	layers := flag.Int("layers", 1, "layers")
+	u := flag.Float64("u", 4, "interaction (when not scanned)")
+	beta := flag.Float64("beta", 3, "inverse temperature (when not scanned)")
+	dtau := flag.Float64("dtau", 0.1, "Trotter step (L = beta/dtau)")
+	warm := flag.Int("warm", 50, "warmup sweeps")
+	meas := flag.Int("meas", 150, "measurement sweeps")
+	walkers := flag.Int("walkers", 1, "parallel Markov chains per point")
+	chi := flag.Bool("chi", false, "also sample the spin susceptibility chi_zz(pi,pi)")
+	chiSamples := flag.Int("chisamples", 5, "sweeps sampled for chi")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	values, err := parseFloats(*valuesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	header := []string{*scan, "density", "docc", "moment", "S(pi,pi)", "<sign>"}
+	if *chi {
+		header = append(header, "chi_AF")
+	}
+	tbl := benchutil.NewTable(header...)
+	for _, v := range values {
+		cfg := questgo.DefaultConfig()
+		cfg.Nx, cfg.Ny, cfg.Layers = *nx, *nx, *layers
+		cfg.U, cfg.Beta = *u, *beta
+		cfg.WarmSweeps, cfg.MeasSweeps = *warm, *meas
+		cfg.Seed = *seed
+		switch strings.ToLower(*scan) {
+		case "beta":
+			cfg.Beta = v
+		case "u":
+			cfg.U = v
+		case "mu":
+			cfg.Mu = v
+		case "tprime":
+			cfg.TPrime = v
+		case "tperp":
+			cfg.Tperp = v
+		default:
+			fmt.Fprintf(os.Stderr, "sweep: unknown parameter %q\n", *scan)
+			os.Exit(1)
+		}
+		cfg.L = int(cfg.Beta / *dtau)
+		if cfg.L < 4 {
+			cfg.L = 4
+		}
+		fmt.Fprintf(os.Stderr, "running %s = %g (L = %d)...\n", *scan, v, cfg.L)
+
+		var res *questgo.Results
+		var chiStr string
+		if *walkers > 1 {
+			res, err = questgo.RunParallel(cfg, *walkers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			if *chi {
+				chiStr = "n/a(walkers)"
+			}
+		} else {
+			sim, err := questgo.NewSimulation(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			res = sim.Run()
+			if *chi {
+				cr := sampleChi(sim, *chiSamples)
+				chiStr = fmt.Sprintf("%.3f+-%.3f", cr.AF, cr.AFErr)
+			}
+		}
+		row := []interface{}{
+			fmt.Sprintf("%g", v),
+			fmt.Sprintf("%.4f+-%.4f", res.Density, res.DensityErr),
+			fmt.Sprintf("%.4f+-%.4f", res.DoubleOcc, res.DoubleOccErr),
+			fmt.Sprintf("%.4f", res.LocalMoment),
+			fmt.Sprintf("%.3f+-%.3f", res.SAF, res.SAFErr),
+			fmt.Sprintf("%.3f", res.AvgSign),
+		}
+		if *chi {
+			row = append(row, chiStr)
+		}
+		tbl.AddRow(row...)
+	}
+	fmt.Println()
+	tbl.Render(os.Stdout)
+}
+
+func sampleChi(sim *questgo.Simulation, samples int) *core.ChiResult {
+	return sim.SampleSusceptibility(samples, 0)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty value list")
+	}
+	return out, nil
+}

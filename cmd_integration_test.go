@@ -1,0 +1,144 @@
+package questgo
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Integration tests: every command-line tool must run end to end on a tiny
+// workload and print its expected headline. These use `go run`, so they
+// also catch build breaks in the mains.
+
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v failed: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmdDQMC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "out.json")
+	ckptPath := filepath.Join(dir, "run.ckpt")
+	out := runTool(t, "./cmd/dqmc", "-nx", "2", "-ny", "2", "-l", "8",
+		"-warm", "3", "-meas", "6", "-json", jsonPath, "-checkpoint", ckptPath)
+	for _, want := range []string{"density", "Table I profile", "Stratification"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dqmc output missing %q:\n%s", want, out)
+		}
+	}
+	// Resume from the checkpoint.
+	out = runTool(t, "./cmd/dqmc", "-resume", ckptPath, "-warm", "0", "-meas", "3")
+	if !strings.Contains(out, "density") {
+		t.Fatalf("resumed dqmc output:\n%s", out)
+	}
+}
+
+func TestCmdKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	out := runTool(t, "./cmd/kernels", "-sizes", "32,48", "-reps", "1")
+	if !strings.Contains(out, "DGEQP3") {
+		t.Fatalf("kernels output:\n%s", out)
+	}
+}
+
+func TestCmdAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	out := runTool(t, "./cmd/accuracy", "-nx", "4", "-l", "20", "-evals", "4", "-us", "4")
+	if !strings.Contains(out, "median") {
+		t.Fatalf("accuracy output:\n%s", out)
+	}
+}
+
+func TestCmdGreens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	out := runTool(t, "./cmd/greens", "-sizes", "16", "-l", "20", "-reps", "1")
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "Figure 4") {
+		t.Fatalf("greens output:\n%s", out)
+	}
+}
+
+func TestCmdScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	out := runTool(t, "./cmd/scaling", "-sizes", "4,16", "-l", "8", "-warm", "1", "-meas", "2")
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "nominal") {
+		t.Fatalf("scaling output:\n%s", out)
+	}
+}
+
+func TestCmdFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	for _, fig := range []string{"5", "6", "7"} {
+		out := runTool(t, "./cmd/figures", "-fig="+fig, "-sizes", "4",
+			"-beta", "1", "-l", "8", "-warm", "2", "-meas", "4")
+		if !strings.Contains(out, "Figure "+fig) {
+			t.Fatalf("figures -fig=%s output:\n%s", fig, out)
+		}
+	}
+}
+
+func TestCmdGPUBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	out := runTool(t, "./cmd/gpubench", "-fig=9", "-sizes", "16", "-k", "4")
+	if !strings.Contains(out, "cluster") {
+		t.Fatalf("gpubench fig9 output:\n%s", out)
+	}
+	out = runTool(t, "./cmd/gpubench", "-fig=10", "-sizes", "16", "-l", "8", "-k", "4")
+	if !strings.Contains(out, "hybrid") {
+		t.Fatalf("gpubench fig10 output:\n%s", out)
+	}
+}
+
+func TestCmdSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	out := runTool(t, "./cmd/sweep", "-scan", "u", "-values", "0,4",
+		"-nx", "2", "-beta", "1", "-dtau", "0.25", "-warm", "2", "-meas", "4")
+	if !strings.Contains(out, "S(pi,pi)") {
+		t.Fatalf("sweep output:\n%s", out)
+	}
+}
+
+func TestCmdExtrapolate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	out := runTool(t, "./cmd/extrapolate", "-mode", "trotter", "-obs", "docc",
+		"-ls", "4,8", "-nx", "2", "-beta", "1", "-warm", "5", "-meas", "10")
+	if !strings.Contains(out, "extrapolation") {
+		t.Fatalf("extrapolate output:\n%s", out)
+	}
+}
+
+func TestExamplesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	// Examples run full simulations; building them catches interface
+	// drift without the runtime cost.
+	out, err := exec.Command("go", "build", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("examples failed to build: %v\n%s", err, out)
+	}
+}

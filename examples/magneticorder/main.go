@@ -1,0 +1,80 @@
+// Magnetic order: measures the z-spin correlation C_zz(r) of the
+// half-filled Hubbard model on growing lattices and prints the
+// checkerboard map plus the finite-size trend of the antiferromagnetic
+// structure factor S(pi,pi) — the analysis behind the paper's Figure 7,
+// where the long-distance value C_zz(Lx/2, Ly/2) on increasing sizes
+// extrapolates to the bulk order parameter.
+//
+// Run with:
+//
+//	go run ./examples/magneticorder
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"questgo"
+	"questgo/internal/stats"
+)
+
+func main() {
+	sizes := []int{4, 6, 8}
+	u, beta := 4.0, 4.0
+
+	fmt.Printf("Half-filled Hubbard model, U=%g, beta=%g\n", u, beta)
+	fmt.Println()
+	var czzLong, czzErr []float64
+	for _, nx := range sizes {
+		cfg := questgo.DefaultConfig()
+		cfg.Nx, cfg.Ny = nx, nx
+		cfg.U = u
+		cfg.Beta = beta
+		cfg.L = 32
+		cfg.WarmSweeps = 60
+		cfg.MeasSweeps = 150
+		cfg.Seed = uint64(100 + nx)
+
+		sim, err := questgo.NewSimulation(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sim.Run()
+
+		fmt.Printf("--- %dx%d ---\n", nx, nx)
+		fmt.Println("C_zz(r) sign map (checkerboard = antiferromagnetic order):")
+		for dy := 0; dy < nx; dy++ {
+			for dx := 0; dx < nx; dx++ {
+				if res.Czz[dx+nx*dy] >= 0 {
+					fmt.Print(" +")
+				} else {
+					fmt.Print(" -")
+				}
+			}
+			fmt.Println()
+		}
+		half := nx / 2
+		fmt.Printf("C_zz(0,0)        = %+0.4f (local moment)\n", res.Czz[0])
+		fmt.Printf("C_zz(1,0)        = %+0.4f +- %.4f\n", res.Czz[1], res.CzzErr[1])
+		fmt.Printf("C_zz(L/2,L/2)    = %+0.4f +- %.4f (longest distance)\n",
+			res.Czz[half+nx*half], res.CzzErr[half+nx*half])
+		fmt.Printf("S(pi,pi)         = %0.4f +- %.4f\n\n", res.SAF, res.SAFErr)
+		czzLong = append(czzLong, res.Czz[half+nx*half])
+		e := res.CzzErr[half+nx*half]
+		if e < 1e-6 {
+			e = 1e-6
+		}
+		czzErr = append(czzErr, e)
+	}
+	// The paper's Figure 7 methodology: extrapolate the longest-distance
+	// correlation in 1/L to decide whether bulk AF order survives.
+	yInf, yErr, err := stats.FiniteSizeExtrapolate(sizes, czzLong, czzErr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C_zz(L/2,L/2) extrapolated to L -> infinity: %.4f +- %.4f\n", yInf, yErr)
+	fmt.Println()
+	fmt.Println("S(pi,pi) grows with lattice size while C_zz at the longest distance")
+	fmt.Println("stays positive — the finite-size signature of AF order that the")
+	fmt.Println("paper extrapolates to the bulk limit on 12x12 ... 32x32 lattices.")
+}

@@ -1,0 +1,56 @@
+// Multilayer: the paper's motivating application. Simulates a stack of
+// four 4x4 Hubbard planes coupled by an inter-layer hopping t_perp — a
+// minimal model of a correlated-oxide multilayer/interface — and reports
+// layer-resolved densities and how the in-plane antiferromagnetic
+// correlations react to the coupling strength.
+//
+// The physics the paper is after (six to eight 12x12-14x14 layers) needs
+// the N = 1024 capability its algorithms unlock; this example runs the
+// same code path at laptop scale.
+//
+// Run with:
+//
+//	go run ./examples/multilayer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"questgo"
+)
+
+func main() {
+	for _, tperp := range []float64{0.0, 0.5, 1.0} {
+		cfg := questgo.DefaultConfig()
+		cfg.Nx, cfg.Ny = 4, 4
+		cfg.Layers = 4
+		cfg.Tperp = tperp
+		cfg.U = 4
+		cfg.Beta = 3
+		cfg.L = 24
+		cfg.WarmSweeps = 40
+		cfg.MeasSweeps = 100
+		cfg.Seed = 42
+
+		sim, err := questgo.NewSimulation(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("4 layers of 4x4, U=%g, beta=%g, t_perp=%g (N = %d sites)\n",
+			cfg.U, cfg.Beta, tperp, cfg.Nx*cfg.Ny*cfg.Layers)
+		res := sim.Run()
+
+		fmt.Print("  layer densities:")
+		for z, d := range res.LayerDensity {
+			fmt.Printf("  z=%d: %.3f", z, d)
+		}
+		fmt.Println()
+		fmt.Printf("  in-plane C_zz(1,0) = %+0.4f +- %.4f\n", res.Czz[1], res.CzzErr[1])
+		fmt.Printf("  S(pi,pi)           = %0.4f +- %.4f\n", res.SAF, res.SAFErr)
+		fmt.Printf("  double occupancy   = %0.4f +- %.4f\n\n", res.DoubleOcc, res.DoubleOccErr)
+	}
+	fmt.Println("Increasing t_perp relieves the in-plane ordering tendency: interlayer")
+	fmt.Println("singlet formation competes with the planar antiferromagnetism — the")
+	fmt.Println("kind of interface physics the paper's N = 1024 capability targets.")
+}

@@ -1,0 +1,45 @@
+// Quickstart: the smallest useful DQMC run. Simulates the half-filled
+// 4x4 Hubbard model at U = 4, beta = 4 and prints the basic equal-time
+// observables with Monte Carlo error bars.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"questgo"
+)
+
+func main() {
+	cfg := questgo.DefaultConfig()
+	cfg.Nx, cfg.Ny = 4, 4
+	cfg.U = 4
+	cfg.Beta = 4
+	cfg.L = 32 // dtau = 0.125
+	cfg.WarmSweeps = 100
+	cfg.MeasSweeps = 300
+	cfg.Seed = 2024
+
+	sim, err := questgo.NewSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sim.Run()
+
+	fmt.Printf("4x4 Hubbard model, U=%g, beta=%g (half filling)\n\n", cfg.U, cfg.Beta)
+	fmt.Printf("density        = %.4f +- %.4f   (exactly 1 by particle-hole symmetry)\n",
+		res.Density, res.DensityErr)
+	fmt.Printf("double occ.    = %.4f +- %.4f   (< 0.25: repulsion suppresses pairs)\n",
+		res.DoubleOcc, res.DoubleOccErr)
+	fmt.Printf("kinetic energy = %.4f +- %.4f per site\n", res.Kinetic, res.KineticErr)
+	fmt.Printf("local moment   = %.4f +- %.4f   (> 0.5: moments forming)\n",
+		res.LocalMoment, res.LocalMomentErr)
+	fmt.Printf("S(pi,pi)       = %.4f +- %.4f   (antiferromagnetic correlations)\n",
+		res.SAF, res.SAFErr)
+	fmt.Printf("\nacceptance %.2f, <sign> %.3f, max wrap drift %.1e\n",
+		res.Acceptance, res.AvgSign, res.MaxWrapDrift)
+}

@@ -1,0 +1,73 @@
+// Restart: long DQMC runs (the paper's production jobs take 36 hours)
+// need checkpoint files. This example runs half a simulation, writes a
+// restart file, "crashes", resumes from disk and finishes — and verifies
+// that the resumed chain gives exactly the observables the uninterrupted
+// run would have produced.
+//
+// Run with:
+//
+//	go run ./examples/restart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"questgo"
+)
+
+func main() {
+	cfg := questgo.DefaultConfig()
+	cfg.Nx, cfg.Ny = 4, 4
+	cfg.U, cfg.Beta, cfg.L = 4, 2, 10
+	cfg.WarmSweeps, cfg.MeasSweeps = 20, 40
+	cfg.Seed = 99
+
+	// Reference: the uninterrupted run.
+	simRef, err := questgo.NewSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := simRef.Run()
+
+	// Interrupted: first half, checkpoint to disk, resume, second half.
+	first := cfg
+	first.WarmSweeps, first.MeasSweeps = 19, 1 // same 20 pre-measurement sweeps
+	sim1, err := questgo.NewSimulation(first)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim1.Run()
+
+	dir, err := os.MkdirTemp("", "questgo-restart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "run.ckpt")
+	if err := sim1.Checkpoint().Save(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint written: %s\n", path)
+
+	ck, err := questgo.LoadCheckpoint(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ck.Config.WarmSweeps, ck.Config.MeasSweeps = 0, 40
+	sim2, err := questgo.Resume(ck)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sim2.Run()
+
+	fmt.Printf("\nuninterrupted: docc = %.6f, S(pi,pi) = %.4f\n", ref.DoubleOcc, ref.SAF)
+	fmt.Printf("resumed:       docc = %.6f, S(pi,pi) = %.4f\n", res.DoubleOcc, res.SAF)
+	if res.DoubleOcc == ref.DoubleOcc && res.SAF == ref.SAF {
+		fmt.Println("\nbit-for-bit identical: the restart file captures the full chain state.")
+	} else {
+		fmt.Println("\nWARNING: resumed run diverged — this should never happen.")
+	}
+}

@@ -1,0 +1,3 @@
+module questgo
+
+go 1.22

@@ -1,0 +1,40 @@
+package blas
+
+import "questgo/internal/mat"
+
+// Gemv computes y = alpha*op(A)*x + beta*y where op is the identity when
+// trans is false and transposition when trans is true.
+func Gemv(trans bool, alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) {
+	m, n := a.Rows, a.Cols
+	if trans {
+		if len(x) < m || len(y) < n {
+			panic("blas: Gemv dimension mismatch")
+		}
+		for j := 0; j < n; j++ {
+			y[j] = beta*y[j] + alpha*Dot(a.Col(j), x[:m])
+		}
+		return
+	}
+	if len(x) < n || len(y) < m {
+		panic("blas: Gemv dimension mismatch")
+	}
+	if beta != 1 {
+		for i := 0; i < m; i++ {
+			y[i] *= beta
+		}
+	}
+	for j := 0; j < n; j++ {
+		Axpy(alpha*x[j], a.Col(j), y[:m])
+	}
+}
+
+// Ger computes the rank-1 update A += alpha * x * y^T.
+func Ger(alpha float64, x, y []float64, a *mat.Dense) {
+	m, n := a.Rows, a.Cols
+	if len(x) < m || len(y) < n {
+		panic("blas: Ger dimension mismatch")
+	}
+	for j := 0; j < n; j++ {
+		Axpy(alpha*y[j], x[:m], a.Col(j))
+	}
+}

@@ -1,0 +1,96 @@
+package blas
+
+import (
+	"questgo/internal/mat"
+	"questgo/internal/parallel"
+)
+
+// Trsm solves op(T) * X = alpha * B in place (B is overwritten by X) for a
+// triangular T. Only the "left side" variants needed by the LU solver and
+// the blocked factorizations are implemented:
+//
+//	upper=false, unit=true  : unit lower triangular (LU forward substitution)
+//	upper=true,  unit=false : upper triangular (LU back substitution)
+//
+// trans selects op(T) = T or T^T. Right-hand sides (columns of B) are
+// independent, so they are solved in parallel.
+func Trsm(upper, trans, unit bool, alpha float64, t, b *mat.Dense) {
+	n := t.Rows
+	if t.Cols != n || b.Rows != n {
+		panic("blas: Trsm dimension mismatch")
+	}
+	parallel.For(b.Cols, 4, func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			x := b.Col(j)
+			if alpha != 1 {
+				Scal(alpha, x)
+			}
+			trsv(upper, trans, unit, t, x)
+		}
+	})
+}
+
+// trsv solves op(T) x = x in place for one right-hand side.
+func trsv(upper, trans, unit bool, t *mat.Dense, x []float64) {
+	n := t.Rows
+	switch {
+	case !trans && !upper:
+		// Forward substitution with column access: after x[k] is final,
+		// eliminate it from the remaining entries using column k.
+		for k := 0; k < n; k++ {
+			if !unit {
+				x[k] /= t.At(k, k)
+			}
+			xk := x[k]
+			if xk == 0 {
+				continue
+			}
+			col := t.Col(k)
+			for i := k + 1; i < n; i++ {
+				x[i] -= xk * col[i]
+			}
+		}
+	case !trans && upper:
+		for k := n - 1; k >= 0; k-- {
+			if !unit {
+				x[k] /= t.At(k, k)
+			}
+			xk := x[k]
+			if xk == 0 {
+				continue
+			}
+			col := t.Col(k)
+			for i := 0; i < k; i++ {
+				x[i] -= xk * col[i]
+			}
+		}
+	case trans && !upper:
+		// T^T is upper triangular; dot products along columns of T.
+		for k := n - 1; k >= 0; k-- {
+			col := t.Col(k)
+			s := x[k]
+			for i := k + 1; i < n; i++ {
+				s -= col[i] * x[i]
+			}
+			if unit {
+				x[k] = s
+			} else {
+				x[k] = s / col[k]
+			}
+		}
+	default: // trans && upper
+		// T^T is lower triangular.
+		for k := 0; k < n; k++ {
+			col := t.Col(k)
+			s := x[k]
+			for i := 0; i < k; i++ {
+				s -= col[i] * x[i]
+			}
+			if unit {
+				x[k] = s
+			} else {
+				x[k] = s / col[k]
+			}
+		}
+	}
+}

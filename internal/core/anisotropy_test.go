@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnisotropicDispersion(t *testing.T) {
+	// U = 0 with tx != ty: n(k) must match
+	// eps_k = -2 tx cos kx - 2 ty cos ky.
+	ty := 0.4
+	cfg := Config{
+		Nx: 6, Ny: 6, Layers: 1, T: 1, Ty: ty,
+		U: 0, Mu: 0, Beta: 3, L: 24,
+		WarmSweeps: 2, MeasSweeps: 4,
+		ClusterK: 8, Delay: 16, PrePivot: true,
+		Seed: 6,
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	for _, p := range sim.Lattice().MomentumGrid() {
+		eps := -2*math.Cos(p.Kx) - 2*ty*math.Cos(p.Ky)
+		want := 1 / (1 + math.Exp(cfg.Beta*eps))
+		got := res.Nk[p.Ix+cfg.Nx*p.Iy]
+		if math.Abs(got-want) > 1e-8 {
+			t.Fatalf("n(k=%.2f,%.2f) = %v want %v", p.Kx, p.Ky, got, want)
+		}
+	}
+}
+
+func TestAnisotropyBreaksXYSymmetry(t *testing.T) {
+	// With ty < tx, n(k) along kx and ky must differ.
+	cfg := Config{
+		Nx: 4, Ny: 4, Layers: 1, T: 1, Ty: 0.3,
+		U: 2, Mu: 0, Beta: 2, L: 10,
+		WarmSweeps: 20, MeasSweeps: 60,
+		ClusterK: 5, Delay: 16, PrePivot: true,
+		Seed: 8,
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	nkX := res.Nk[1]   // k = (pi/2, 0)
+	nkY := res.Nk[4*1] // k = (0, pi/2)
+	if math.Abs(nkX-nkY) < 0.02 {
+		t.Fatalf("anisotropy invisible: n(kx)=%v n(ky)=%v", nkX, nkY)
+	}
+	// The weakly coupled (y) direction is flatter: states below/above the
+	// Fermi level less separated. At half filling both points sit on
+	// opposite sides; ordering depends on sign of eps — just require
+	// a clear difference (asserted above) and document the values.
+	t.Logf("n(pi/2,0) = %.3f, n(0,pi/2) = %.3f", nkX, nkY)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func checkpointTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nx, cfg.Ny = 4, 4
+	cfg.U, cfg.Beta, cfg.L = 4, 2, 10
+	cfg.ClusterK = 5
+	cfg.WarmSweeps, cfg.MeasSweeps = 0, 1 // sweeps driven manually via Run
+	return cfg
+}
+
+// TestResumeReproducesUninterruptedRun is the defining property: 4 + 6
+// sweeps with a checkpoint in between must equal 10 straight sweeps,
+// field for field and observable for observable.
+func TestResumeReproducesUninterruptedRun(t *testing.T) {
+	cfg := checkpointTestConfig()
+
+	// Uninterrupted: 4 warmup + 6 measurement sweeps.
+	ref := cfg
+	ref.WarmSweeps, ref.MeasSweeps = 4, 6
+	refRes, err := runOnce(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: 4 warmup sweeps, checkpoint, resume, 6 measurement
+	// sweeps.
+	first := cfg
+	first.WarmSweeps, first.MeasSweeps = 3, 1 // 4 total sweeps, then stop
+	sim1, err := New(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim1.Run()
+	ck := sim1.Checkpoint()
+
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2.Config.WarmSweeps, ck2.Config.MeasSweeps = 0, 6
+	sim2, err := Resume(ck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim2.Run()
+
+	if res.DoubleOcc != refRes.DoubleOcc || res.Kinetic != refRes.Kinetic || res.SAF != refRes.SAF {
+		t.Fatalf("resumed run diverged:\n  straight: docc=%v kin=%v\n  resumed:  docc=%v kin=%v",
+			refRes.DoubleOcc, refRes.Kinetic, res.DoubleOcc, res.Kinetic)
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	cfg := checkpointTestConfig()
+	cfg.WarmSweeps, cfg.MeasSweeps = 2, 1
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	ck := sim.Checkpoint()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Sign != ck.Sign || loaded.RngState != ck.RngState {
+		t.Fatal("checkpoint state corrupted in file round trip")
+	}
+	for l := range ck.FieldH {
+		for i := range ck.FieldH[l] {
+			if loaded.FieldH[l][i] != ck.FieldH[l][i] {
+				t.Fatal("field corrupted in file round trip")
+			}
+		}
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	cfg := checkpointTestConfig()
+	cfg.WarmSweeps, cfg.MeasSweeps = 1, 1
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	ck := sim.Checkpoint()
+
+	bad := *ck
+	bad.FieldH = bad.FieldH[:len(bad.FieldH)-1]
+	if _, err := Resume(&bad); err == nil {
+		t.Fatal("truncated field should fail")
+	}
+
+	bad2 := *ck
+	bad2.FieldH = make([][]float64, len(ck.FieldH))
+	copy(bad2.FieldH, ck.FieldH)
+	row := append([]float64(nil), ck.FieldH[0]...)
+	row[0] = 0.5
+	bad2.FieldH[0] = row
+	if _, err := Resume(&bad2); err == nil {
+		t.Fatal("non-Ising field value should fail")
+	}
+
+	bad3 := *ck
+	bad3.Config.Beta = -1
+	if _, err := Resume(&bad3); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}
+
+func TestLoadCheckpointMissing(t *testing.T) {
+	if _, err := LoadCheckpoint("/no/such/file.ckpt"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCheckpointIsDeepCopy(t *testing.T) {
+	cfg := checkpointTestConfig()
+	cfg.WarmSweeps, cfg.MeasSweeps = 1, 1
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	ck := sim.Checkpoint()
+	before := ck.FieldH[0][0]
+	sim.Run() // mutate the live field
+	if ck.FieldH[0][0] != before {
+		t.Fatal("checkpoint must not alias the live field")
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"questgo/internal/measure"
+	"questgo/internal/profile"
+)
+
+// ChiResult holds sampled imaginary-time spin susceptibilities.
+type ChiResult struct {
+	AF, AFErr           float64 // chi_zz(pi, pi)
+	Uniform, UniformErr float64 // chi_zz(0, 0)
+	Samples             int
+}
+
+// SampleSusceptibility runs `samples` additional sweeps, measuring the
+// imaginary-time spin susceptibility chi_zz(q) on each resulting
+// configuration (tau sampled every `every` slices; every <= 0 uses the
+// cluster size). Call after Run so the chain is equilibrated. The
+// susceptibility requires two displaced Green's function evaluations per
+// sampled tau per spin, so this costs considerably more per sweep than the
+// equal-time measurements.
+func (s *Simulation) SampleSusceptibility(samples, every int) *ChiResult {
+	if samples < 1 {
+		samples = 1
+	}
+	if every <= 0 {
+		every = s.sweeper.ClusterK()
+	}
+	var af, uni, signs []float64
+	for i := 0; i < samples; i++ {
+		s.sweeper.Sweep()
+		done := s.prof.Track(profile.Measurement)
+		chi := measure.MeasureSusceptibility(s.lat, s.prop, s.field, every, s.sweeper.ClusterK())
+		sg := s.sweeper.Sign()
+		af = append(af, sg*chi.ChiAF())
+		uni = append(uni, sg*chi.ChiUniform())
+		signs = append(signs, sg)
+		done()
+	}
+	res := &ChiResult{Samples: samples}
+	res.AF, res.AFErr = signedAverage(af, signs)
+	res.Uniform, res.UniformErr = signedAverage(uni, signs)
+	return res
+}

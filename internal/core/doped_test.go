@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// Away from half filling the chemical potential must move the density the
+// right way, and the sign machinery must keep producing a usable average
+// sign at these mild parameters.
+func TestDopedDensityFollowsMu(t *testing.T) {
+	densityAt := func(mu float64) float64 {
+		cfg := Config{
+			Nx: 4, Ny: 4, Layers: 1, T: 1,
+			U: 2, Mu: mu, Beta: 2, L: 16,
+			WarmSweeps: 60, MeasSweeps: 200,
+			ClusterK: 8, Delay: 16, PrePivot: true,
+			Seed: 31,
+		}
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sim.Run()
+		if math.Abs(res.AvgSign) < 0.5 {
+			t.Fatalf("average sign collapsed: %v", res.AvgSign)
+		}
+		return res.Density
+	}
+	nMinus := densityAt(-1.0)
+	nZero := densityAt(0)
+	nPlus := densityAt(1.0)
+	if !(nMinus < nZero && nZero < nPlus) {
+		t.Fatalf("density not monotone in mu: %v, %v, %v", nMinus, nZero, nPlus)
+	}
+	if math.Abs(nZero-1) > 0.03 {
+		t.Fatalf("mu=0 density %v should be ~1", nZero)
+	}
+	// Particle-hole symmetry: n(+mu) + n(-mu) = 2 within errors.
+	if math.Abs(nMinus+nPlus-2) > 0.06 {
+		t.Fatalf("particle-hole symmetry violated: n(-mu)+n(+mu) = %v", nMinus+nPlus)
+	}
+}
+
+// At U = 0 the DQMC density must match the exact grand-canonical value for
+// any mu (no Trotter error in the density at U = 0 up to the kinetic
+// discretization, no statistical error since nothing fluctuates).
+func TestFreeDopedDensityExact(t *testing.T) {
+	mu := -0.7
+	cfg := Config{
+		Nx: 4, Ny: 4, Layers: 1, T: 1,
+		U: 0, Mu: mu, Beta: 3, L: 24,
+		WarmSweeps: 2, MeasSweeps: 4,
+		ClusterK: 8, Delay: 16, PrePivot: true,
+		Seed: 7,
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	// Exact: n = (2/N) sum_k f(eps_k - ... ), eps includes mu via K.
+	want := 0.0
+	for _, p := range sim.Lattice().MomentumGrid() {
+		eps := -2*(math.Cos(p.Kx)+math.Cos(p.Ky)) - mu
+		want += 2 / (1 + math.Exp(cfg.Beta*eps))
+	}
+	want /= float64(sim.Lattice().N())
+	if math.Abs(res.Density-want) > 1e-8 {
+		t.Fatalf("free doped density %v, exact %v", res.Density, want)
+	}
+	if res.AvgSign != 1 {
+		t.Fatalf("free system must have sign 1, got %v", res.AvgSign)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeasureDynamicsShapes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nx, cfg.Ny = 4, 4
+	cfg.U, cfg.Beta, cfg.L = 2, 2, 16
+	cfg.ClusterK = 4
+	cfg.WarmSweeps, cfg.MeasSweeps = 10, 20
+	cfg.MeasureDynamics = true
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	// tau = 4, 8 slices (up to L/2 = 8 in steps of k = 4).
+	if len(res.DisplacedTaus) != 2 || res.DisplacedTaus[0] != 4 || res.DisplacedTaus[1] != 8 {
+		t.Fatalf("DisplacedTaus = %v", res.DisplacedTaus)
+	}
+	if len(res.GdTau) != 2 || len(res.GdTau[0]) != 16 {
+		t.Fatalf("GdTau shape wrong: %d x %d", len(res.GdTau), len(res.GdTau[0]))
+	}
+	// Local G(0, tau) decays with tau and stays in (0, 1).
+	g1, g2 := res.GdTau[0][0], res.GdTau[1][0]
+	if !(g1 > 0 && g1 < 1 && g2 > 0 && g2 < g1) {
+		t.Fatalf("local displaced G not decaying: %v -> %v", g1, g2)
+	}
+	for _, e := range res.GdTauErr[0] {
+		if math.IsNaN(e) || e < 0 {
+			t.Fatalf("bad error bar %v", e)
+		}
+	}
+}
+
+func TestMeasureDynamicsOffByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nx, cfg.Ny = 2, 2
+	cfg.L = 8
+	cfg.WarmSweeps, cfg.MeasSweeps = 2, 4
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	if res.GdTau != nil || res.DisplacedTaus != nil {
+		t.Fatal("dynamics measured without being requested")
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+
+	"questgo/internal/profile"
+)
+
+// resultsJSON is the serialization view of Results: everything a
+// downstream analysis needs, with the profile flattened to percentages.
+type resultsJSON struct {
+	Config Config `json:"config"`
+
+	Density        float64 `json:"density"`
+	DensityErr     float64 `json:"density_err"`
+	DoubleOcc      float64 `json:"double_occupancy"`
+	DoubleOccErr   float64 `json:"double_occupancy_err"`
+	Kinetic        float64 `json:"kinetic"`
+	KineticErr     float64 `json:"kinetic_err"`
+	Potential      float64 `json:"potential"`
+	PotentialErr   float64 `json:"potential_err"`
+	Energy         float64 `json:"energy"`
+	EnergyErr      float64 `json:"energy_err"`
+	LocalMoment    float64 `json:"local_moment"`
+	LocalMomentErr float64 `json:"local_moment_err"`
+	SAF            float64 `json:"s_af"`
+	SAFErr         float64 `json:"s_af_err"`
+
+	AvgSign      float64 `json:"avg_sign"`
+	Acceptance   float64 `json:"acceptance"`
+	MaxWrapDrift float64 `json:"max_wrap_drift"`
+
+	Nk           []float64 `json:"nk"`
+	NkErr        []float64 `json:"nk_err"`
+	Czz          []float64 `json:"czz"`
+	CzzErr       []float64 `json:"czz_err"`
+	LayerDensity []float64 `json:"layer_density,omitempty"`
+
+	DisplacedTaus []int       `json:"displaced_taus,omitempty"`
+	GdTau         [][]float64 `json:"gd_tau,omitempty"`
+	GdTauErr      [][]float64 `json:"gd_tau_err,omitempty"`
+
+	ProfilePercent map[string]float64 `json:"profile_percent,omitempty"`
+}
+
+// WriteJSON writes the results as indented JSON.
+func (r *Results) WriteJSON(w io.Writer) error {
+	out := resultsJSON{
+		Config:         r.Config,
+		Density:        r.Density,
+		DensityErr:     r.DensityErr,
+		DoubleOcc:      r.DoubleOcc,
+		DoubleOccErr:   r.DoubleOccErr,
+		Kinetic:        r.Kinetic,
+		KineticErr:     r.KineticErr,
+		Potential:      r.Potential,
+		PotentialErr:   r.PotentialErr,
+		Energy:         r.Energy,
+		EnergyErr:      r.EnergyErr,
+		LocalMoment:    r.LocalMoment,
+		LocalMomentErr: r.LocalMomentErr,
+		SAF:            r.SAF,
+		SAFErr:         r.SAFErr,
+		AvgSign:        r.AvgSign,
+		Acceptance:     r.Acceptance,
+		MaxWrapDrift:   r.MaxWrapDrift,
+		Nk:             r.Nk,
+		NkErr:          r.NkErr,
+		Czz:            r.Czz,
+		CzzErr:         r.CzzErr,
+		LayerDensity:   r.LayerDensity,
+		DisplacedTaus:  r.DisplacedTaus,
+		GdTau:          r.GdTau,
+		GdTauErr:       r.GdTauErr,
+	}
+	if r.Prof != nil {
+		pc := r.Prof.Percentages()
+		out.ProfilePercent = map[string]float64{}
+		for c := profile.Category(0); c < profile.NumCategories; c++ {
+			out.ProfilePercent[c.Name()] = pc[c]
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SaveJSON writes the results to a file.
+func (r *Results) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJSONDensity reads back just the density from a saved results file
+// (a convenience for tests and quick scripting).
+func LoadJSONDensity(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var v struct {
+		Density float64 `json:"density"`
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return 0, err
+	}
+	return v.Density, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"questgo/internal/stats"
+)
+
+// RunParallel runs `walkers` statistically independent Markov chains of the
+// same configuration concurrently (seeds derived deterministically from
+// cfg.Seed) and merges their results. This is the embarrassingly parallel
+// axis of DQMC the paper's multicore platform also exploits between nodes:
+// within one chain the linear algebra parallelizes, across chains the
+// sampling does.
+//
+// Error bars on merged scalars are the standard error across walker means
+// (each walker is an independent estimate); this requires walkers >= 2 for
+// nonzero errors. Vector observables are merged the same way element-wise.
+func RunParallel(cfg Config, walkers int) (*Results, error) {
+	if walkers < 1 {
+		return nil, fmt.Errorf("core: need at least one walker")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]*Results, walkers)
+	errs := make([]error, walkers)
+	var wg sync.WaitGroup
+	for w := 0; w < walkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wcfg := cfg
+			// Spread seeds far apart deterministically.
+			wcfg.Seed = cfg.Seed + uint64(w)*0x9e3779b97f4a7c15
+			sim, err := New(wcfg)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			results[w] = sim.Run()
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return MergeResults(results)
+}
+
+// MergeResults combines independent runs of the same configuration into
+// one estimate.
+func MergeResults(rs []*Results) (*Results, error) {
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("core: nothing to merge")
+	}
+	if len(rs) == 1 {
+		return rs[0], nil
+	}
+	out := &Results{Config: rs[0].Config, Prof: rs[0].Prof}
+	pick := func(f func(*Results) float64) (mean, err float64) {
+		xs := make([]float64, len(rs))
+		for i, r := range rs {
+			xs[i] = f(r)
+		}
+		return stats.Mean(xs), stats.StdErr(xs)
+	}
+	out.Density, out.DensityErr = pick(func(r *Results) float64 { return r.Density })
+	out.DoubleOcc, out.DoubleOccErr = pick(func(r *Results) float64 { return r.DoubleOcc })
+	out.Kinetic, out.KineticErr = pick(func(r *Results) float64 { return r.Kinetic })
+	out.LocalMoment, out.LocalMomentErr = pick(func(r *Results) float64 { return r.LocalMoment })
+	out.SAF, out.SAFErr = pick(func(r *Results) float64 { return r.SAF })
+	out.Potential = out.Config.U * out.DoubleOcc
+	out.PotentialErr = math.Abs(out.Config.U) * out.DoubleOccErr
+	out.Energy = out.Kinetic + out.Potential
+	out.EnergyErr = out.KineticErr + out.PotentialErr
+	out.AvgSign, _ = pick(func(r *Results) float64 { return r.AvgSign })
+	out.Acceptance, _ = pick(func(r *Results) float64 { return r.Acceptance })
+	for _, r := range rs {
+		if r.MaxWrapDrift > out.MaxWrapDrift {
+			out.MaxWrapDrift = r.MaxWrapDrift
+		}
+	}
+	var err error
+	if out.Nk, out.NkErr, err = mergeVecs(rs, func(r *Results) []float64 { return r.Nk }); err != nil {
+		return nil, err
+	}
+	if out.Czz, out.CzzErr, err = mergeVecs(rs, func(r *Results) []float64 { return r.Czz }); err != nil {
+		return nil, err
+	}
+	if out.LayerDensity, _, err = mergeVecs(rs, func(r *Results) []float64 { return r.LayerDensity }); err != nil {
+		return nil, err
+	}
+	// Dynamic observables, when present on all walkers.
+	if len(rs[0].DisplacedTaus) > 0 {
+		out.DisplacedTaus = rs[0].DisplacedTaus
+		for ti := range rs[0].GdTau {
+			mean, errv, err := mergeVecs(rs, func(r *Results) []float64 { return r.GdTau[ti] })
+			if err != nil {
+				return nil, err
+			}
+			out.GdTau = append(out.GdTau, mean)
+			out.GdTauErr = append(out.GdTauErr, errv)
+		}
+	}
+	return out, nil
+}
+
+func mergeVecs(rs []*Results, f func(*Results) []float64) (mean, err []float64, e error) {
+	n := len(f(rs[0]))
+	mean = make([]float64, n)
+	err = make([]float64, n)
+	col := make([]float64, len(rs))
+	for i := 0; i < n; i++ {
+		for w, r := range rs {
+			v := f(r)
+			if len(v) != n {
+				return nil, nil, fmt.Errorf("core: walker results have inconsistent shapes")
+			}
+			col[w] = v[i]
+		}
+		mean[i] = stats.Mean(col)
+		err[i] = stats.StdErr(col)
+	}
+	return mean, err, nil
+}

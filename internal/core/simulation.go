@@ -1,0 +1,355 @@
+// Package core ties the DQMC pieces together into the full simulation the
+// paper runs: warmup sweeps, measurement sweeps, sign-weighted observable
+// accumulation with binned/jackknife errors, and the per-phase timing
+// profile of Table I.
+package core
+
+import (
+	"fmt"
+
+	"questgo/internal/hubbard"
+	"questgo/internal/lattice"
+	"questgo/internal/measure"
+	"questgo/internal/profile"
+	"questgo/internal/rng"
+	"questgo/internal/stats"
+	"questgo/internal/update"
+)
+
+// Config specifies a DQMC simulation. The zero value is not runnable; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// Lattice geometry.
+	Nx, Ny int
+	Layers int     // 1 for the standard 2D model
+	T      float64 // in-plane hopping (x direction, and y unless Ty set)
+	Ty     float64 // anisotropic y hopping (0 = same as T)
+	TPrime float64 // next-nearest-neighbor (diagonal) hopping t'
+	Tperp  float64 // inter-layer hopping (ignored when Layers == 1)
+
+	// Hamiltonian and temperature.
+	U    float64
+	Mu   float64
+	Beta float64
+	L    int // imaginary-time slices
+
+	// Monte Carlo schedule. The paper's production runs use 1000 warmup
+	// and 2000 measurement sweeps.
+	WarmSweeps int
+	MeasSweeps int
+
+	// Algorithm knobs.
+	ClusterK int  // matrix clustering size k (= wrapping count l); 10 in the paper
+	Delay    int  // delayed-update block size
+	PrePivot bool // true: Algorithm 3 (the paper's method); false: Algorithm 2
+	// MeasureBoundaries takes equal-time measurements at every cluster
+	// boundary of a measurement sweep (L/k per sweep, averaged) instead of
+	// once at its end — QUEST's variance-reduction practice. DefaultConfig
+	// enables it.
+	MeasureBoundaries bool
+	// MeasureDynamics additionally measures the time-displaced Green's
+	// function G(d, tau) for tau = k, 2k, ..., L/2 slices once per
+	// measurement sweep (QUEST's "dynamic" observables). Off by default —
+	// each tau costs a full two-sided stratified evaluation per spin.
+	MeasureDynamics bool
+
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's canonical small test: half-filled 2D
+// Hubbard model, U = 4, beta = 2.
+func DefaultConfig() Config {
+	return Config{
+		Nx: 4, Ny: 4, Layers: 1, T: 1,
+		U: 4, Mu: 0, Beta: 2, L: 10,
+		WarmSweeps: 50, MeasSweeps: 100,
+		ClusterK: 10, Delay: 32, PrePivot: true,
+		MeasureBoundaries: true,
+		Seed:              1,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Nx < 1 || c.Ny < 1 || c.Layers < 1:
+		return fmt.Errorf("core: invalid lattice %dx%dx%d", c.Nx, c.Ny, c.Layers)
+	case c.L < 1:
+		return fmt.Errorf("core: need at least 1 time slice")
+	case c.Beta <= 0:
+		return fmt.Errorf("core: beta must be positive")
+	case c.MeasSweeps < 1:
+		return fmt.Errorf("core: need at least 1 measurement sweep")
+	}
+	return nil
+}
+
+// Results aggregates the Monte Carlo estimates of a finished run. Scalar
+// observables are sign-weighted ratios <O*s>/<s> with jackknife errors.
+type Results struct {
+	Config Config
+
+	// Scalar observables (per site).
+	Density, DensityErr         float64
+	DoubleOcc, DoubleOccErr     float64
+	Kinetic, KineticErr         float64
+	Potential, PotentialErr     float64
+	Energy, EnergyErr           float64 // kinetic + potential
+	LocalMoment, LocalMomentErr float64
+	SAF, SAFErr                 float64 // antiferromagnetic structure factor S(pi,pi)
+
+	AvgSign    float64
+	Acceptance float64
+
+	// Vector observables on the in-plane grids (x-fastest ordering).
+	Nk, NkErr   []float64 // momentum distribution <n_k>
+	Czz, CzzErr []float64 // spin-spin correlation C_zz(dx, dy)
+
+	// Dynamic observables (only when Config.MeasureDynamics): GdTau[i] is
+	// the displacement map of G(d, tau) at tau = DisplacedTaus[i] slices.
+	DisplacedTaus   []int
+	GdTau, GdTauErr [][]float64
+
+	LayerDensity []float64 // per-plane densities
+
+	// Numerical diagnostics.
+	MaxWrapDrift float64
+	Prof         *profile.Profile
+}
+
+// Simulation is a configured DQMC run.
+type Simulation struct {
+	cfg     Config
+	lat     *lattice.Lattice
+	model   *hubbard.Model
+	prop    *hubbard.Propagator
+	field   *hubbard.Field
+	rng     *rng.Rand
+	sweeper *update.Sweeper
+	prof    *profile.Profile
+}
+
+// New builds the lattice, propagators and initial field for the
+// configuration.
+func New(cfg Config) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var lat *lattice.Lattice
+	if cfg.Layers > 1 {
+		lat = lattice.NewMultilayer(cfg.Nx, cfg.Ny, cfg.Layers, cfg.T, cfg.Tperp)
+	} else {
+		lat = lattice.NewSquare(cfg.Nx, cfg.Ny, cfg.T)
+	}
+	if cfg.TPrime != 0 {
+		lat = lat.WithTPrime(cfg.TPrime)
+	}
+	if cfg.Ty != 0 {
+		lat = lat.WithTy(cfg.Ty)
+	}
+	model, err := hubbard.NewModel(lat, cfg.U, cfg.Mu, cfg.Beta, cfg.L)
+	if err != nil {
+		return nil, err
+	}
+	prop := hubbard.NewPropagator(model)
+	r := rng.New(cfg.Seed)
+	field := hubbard.NewRandomField(cfg.L, model.N(), r)
+	prof := profile.New()
+	sw := update.NewSweeper(prop, field, r, update.Options{
+		ClusterK: cfg.ClusterK,
+		Delay:    cfg.Delay,
+		PrePivot: cfg.PrePivot,
+		Prof:     prof,
+	})
+	return &Simulation{cfg: cfg, lat: lat, model: model, prop: prop, field: field, rng: r, sweeper: sw, prof: prof}, nil
+}
+
+// Model exposes the underlying Hubbard model (read-only use).
+func (s *Simulation) Model() *hubbard.Model { return s.model }
+
+// Lattice exposes the geometry.
+func (s *Simulation) Lattice() *lattice.Lattice { return s.lat }
+
+// Profile exposes the phase timing accumulated so far.
+func (s *Simulation) Profile() *profile.Profile { return s.prof }
+
+// Progress reports a running simulation's position; see RunProgress.
+type Progress struct {
+	Stage string // "warmup" or "measure"
+	Sweep int
+	Total int
+}
+
+// Run executes the full schedule and returns the results.
+func (s *Simulation) Run() *Results { return s.RunProgress(nil) }
+
+// RunProgress is Run with an optional callback invoked after every sweep.
+func (s *Simulation) RunProgress(cb func(Progress)) *Results {
+	for w := 0; w < s.cfg.WarmSweeps; w++ {
+		s.sweeper.Sweep()
+		if cb != nil {
+			cb(Progress{Stage: "warmup", Sweep: w + 1, Total: s.cfg.WarmSweeps})
+		}
+	}
+
+	var (
+		signs                               []float64
+		density, docc, kinetic, moment, saf []float64
+		nkAcc, czzAcc                       stats.VectorAccumulator
+		layerAcc                            stats.VectorAccumulator
+	)
+	// Per-sweep collection: with MeasureBoundaries every cluster boundary
+	// contributes one sample (L/k per sweep) and the sweep records their
+	// average; otherwise a single measurement is taken after the sweep.
+	var collected []*measure.EqualTime
+	takeMeasurement := func() {
+		done := s.prof.Track(profile.Measurement)
+		sign := s.sweeper.Sign()
+		collected = append(collected, measure.Measure(s.lat, s.sweeper.GreenUp(), s.sweeper.GreenDn(), sign))
+		done()
+	}
+	if s.cfg.MeasureBoundaries {
+		s.sweeper.SetBoundaryHook(takeMeasurement)
+		defer s.sweeper.SetBoundaryHook(nil)
+	}
+	var dynAcc stats.VectorAccumulator
+	var dynTaus []int
+	for m := 0; m < s.cfg.MeasSweeps; m++ {
+		collected = collected[:0]
+		s.sweeper.Sweep()
+		if len(collected) == 0 {
+			takeMeasurement()
+		}
+		if s.cfg.MeasureDynamics {
+			done := s.prof.Track(profile.Measurement)
+			k := s.sweeper.ClusterK()
+			// Ensure at least one tau fits in (0, L/2].
+			every := k
+			if every > s.cfg.L/2 {
+				every = s.cfg.L / 2
+			}
+			if every >= 1 {
+				md := measure.MeasureDisplaced(s.lat, s.prop, s.field, every, s.cfg.L/2, k)
+				if len(md.Taus) > 0 {
+					dynTaus = md.Taus
+					sg := s.sweeper.Sign()
+					flat := make([]float64, 0, len(md.Taus)*len(md.GdTau[0]))
+					for _, row := range md.GdTau {
+						for _, v := range row {
+							flat = append(flat, sg*v)
+						}
+					}
+					dynAcc.Push(flat)
+				}
+			}
+			done()
+		}
+		// Average the sweep's samples, sign weighted.
+		inv := 1 / float64(len(collected))
+		var sSign, sDen, sDocc, sKin, sMom, sSAF float64
+		nk := make([]float64, len(collected[0].GFun))
+		czz := make([]float64, len(collected[0].Czz))
+		layers := make([]float64, len(collected[0].LayerDensity))
+		for _, et := range collected {
+			sg := et.Sign
+			sSign += sg * inv
+			sDen += sg * et.Density() * inv
+			sDocc += sg * et.DoubleOcc * inv
+			sKin += sg * et.Kinetic * inv
+			sMom += sg * et.LocalMoment * inv
+			sSAF += sg * et.AFStructureFactor() * inv
+			etnk := et.MomentumDistribution()
+			for i := range nk {
+				nk[i] += sg * etnk[i] * inv
+			}
+			for i := range czz {
+				czz[i] += sg * et.Czz[i] * inv
+			}
+			for i := range layers {
+				layers[i] += et.LayerDensity[i] * inv
+			}
+		}
+		signs = append(signs, sSign)
+		density = append(density, sDen)
+		docc = append(docc, sDocc)
+		kinetic = append(kinetic, sKin)
+		moment = append(moment, sMom)
+		saf = append(saf, sSAF)
+		nkAcc.Push(nk)
+		czzAcc.Push(czz)
+		layerAcc.Push(layers)
+		if cb != nil {
+			cb(Progress{Stage: "measure", Sweep: m + 1, Total: s.cfg.MeasSweeps})
+		}
+	}
+
+	res := &Results{
+		Config:       s.cfg,
+		AvgSign:      stats.Mean(signs),
+		Acceptance:   s.sweeper.AcceptanceRate(),
+		MaxWrapDrift: s.sweeper.MaxWrapDrift(),
+		Prof:         s.prof,
+	}
+	res.Density, res.DensityErr = signedAverage(density, signs)
+	res.DoubleOcc, res.DoubleOccErr = signedAverage(docc, signs)
+	res.Kinetic, res.KineticErr = signedAverage(kinetic, signs)
+	res.LocalMoment, res.LocalMomentErr = signedAverage(moment, signs)
+	res.SAF, res.SAFErr = signedAverage(saf, signs)
+	res.Potential = s.cfg.U * res.DoubleOcc
+	res.PotentialErr = s.cfg.U * res.DoubleOccErr
+	res.Energy = res.Kinetic + res.Potential
+	res.EnergyErr = res.KineticErr + res.PotentialErr
+
+	avgSign := res.AvgSign
+	res.Nk = scaleCopy(nkAcc.MeanVec(), 1/avgSign)
+	res.NkErr = nkAcc.ErrVec()
+	res.Czz = scaleCopy(czzAcc.MeanVec(), 1/avgSign)
+	res.CzzErr = czzAcc.ErrVec()
+	res.LayerDensity = layerAcc.MeanVec()
+	if s.cfg.MeasureDynamics && len(dynTaus) > 0 {
+		res.DisplacedTaus = dynTaus
+		mean := scaleCopy(dynAcc.MeanVec(), 1/avgSign)
+		errv := dynAcc.ErrVec()
+		per := len(mean) / len(dynTaus)
+		for i := range dynTaus {
+			res.GdTau = append(res.GdTau, mean[i*per:(i+1)*per])
+			res.GdTauErr = append(res.GdTauErr, errv[i*per:(i+1)*per])
+		}
+	}
+	return res
+}
+
+// signedAverage computes the sign-weighted ratio <O s>/<s> with a
+// jackknife error that propagates the correlation between numerator and
+// denominator.
+func signedAverage(os, signs []float64) (mean, err float64) {
+	n := len(os)
+	if n == 0 {
+		return 0, 0
+	}
+	idx := make([]float64, n)
+	for i := range idx {
+		idx[i] = float64(i)
+	}
+	f := func(sel []float64) float64 {
+		var num, den float64
+		for _, fi := range sel {
+			i := int(fi)
+			num += os[i]
+			den += signs[i]
+		}
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	}
+	return stats.Jackknife(idx, f)
+}
+
+func scaleCopy(v []float64, s float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = v[i] * s
+	}
+	return out
+}

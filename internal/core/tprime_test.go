@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"questgo/internal/lattice"
+)
+
+func TestTPrimeDispersion(t *testing.T) {
+	// U = 0 with t' != 0: the measured momentum distribution must match
+	// the t-t' band structure eps_k = -2t(cos kx + cos ky)
+	// - 4 t' cos kx cos ky - mu.
+	tp := -0.25
+	cfg := Config{
+		Nx: 6, Ny: 6, Layers: 1, T: 1, TPrime: tp,
+		U: 0, Mu: 0, Beta: 3, L: 24,
+		WarmSweeps: 2, MeasSweeps: 4,
+		ClusterK: 8, Delay: 16, PrePivot: true,
+		Seed: 3,
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	for _, p := range sim.Lattice().MomentumGrid() {
+		eps := -2*(math.Cos(p.Kx)+math.Cos(p.Ky)) - 4*tp*math.Cos(p.Kx)*math.Cos(p.Ky)
+		want := 1 / (1 + math.Exp(cfg.Beta*eps))
+		got := res.Nk[p.Ix+cfg.Nx*p.Iy]
+		if math.Abs(got-want) > 1e-8 {
+			t.Fatalf("n(k=%.2f,%.2f) = %v want %v", p.Kx, p.Ky, got, want)
+		}
+	}
+}
+
+func TestTPrimeBreaksParticleHoleSymmetry(t *testing.T) {
+	// At mu = 0 with t' != 0, U = 0, the density must deviate from 1.
+	lat := lattice.NewSquare(6, 6, 1).WithTPrime(-0.3)
+	k := lat.KMatrix(0)
+	// Trace of the Fermi occupation: sum_k 2 f(eps_k) != N generally.
+	if k.At(0, lat.Index(1, 1, 0)) != 0.3 {
+		t.Fatalf("diagonal hopping element = %v, want +0.3 (i.e. -t')", k.At(0, lat.Index(1, 1, 0)))
+	}
+	cfg := Config{
+		Nx: 6, Ny: 6, Layers: 1, T: 1, TPrime: -0.3,
+		U: 0, Mu: 0, Beta: 4, L: 16,
+		WarmSweeps: 2, MeasSweeps: 4,
+		ClusterK: 8, Delay: 8, PrePivot: true,
+		Seed: 4,
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	if math.Abs(res.Density-1) < 0.01 {
+		t.Fatalf("t' should dope the mu=0 system away from half filling, density = %v", res.Density)
+	}
+}
+
+func TestTPrimeKineticEnergyConsistent(t *testing.T) {
+	// The real-space kinetic energy measurement (bond sums including
+	// diagonal bonds) must equal the k-space sum at U = 0.
+	tp := 0.2
+	cfg := Config{
+		Nx: 4, Ny: 4, Layers: 1, T: 1, TPrime: tp,
+		U: 0, Mu: 0.1, Beta: 2.5, L: 20,
+		WarmSweeps: 2, MeasSweeps: 3,
+		ClusterK: 10, Delay: 8, PrePivot: true,
+		Seed: 5,
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	want := 0.0
+	for _, p := range sim.Lattice().MomentumGrid() {
+		hop := -2*(math.Cos(p.Kx)+math.Cos(p.Ky)) - 4*tp*math.Cos(p.Kx)*math.Cos(p.Ky)
+		eps := hop - cfg.Mu
+		want += 2 * hop / (1 + math.Exp(cfg.Beta*eps))
+	}
+	want /= float64(sim.Lattice().N())
+	if math.Abs(res.Kinetic-want) > 1e-8 {
+		t.Fatalf("kinetic with t': %v, exact %v", res.Kinetic, want)
+	}
+}

@@ -1,0 +1,138 @@
+package gpu
+
+import (
+	"math"
+
+	"questgo/internal/mat"
+)
+
+// Extended device operations used by the hybrid QR / stratification
+// (Section VII future work): sub-matrix transfers, column scaling, column
+// norms and column permutation kernels.
+
+// Sub returns a view of the device matrix sharing its storage.
+func (a *Matrix) Sub(i, j, rows, cols int) *Matrix {
+	return &Matrix{dev: a.dev, m: a.m.View(i, j, rows, cols), rows: rows, cols: cols}
+}
+
+// GetSub downloads the (i, j)-anchored sub-matrix of src with the shape of
+// dst.
+func (d *Device) GetSub(dst *mat.Dense, src *Matrix, i, j int) {
+	d.checkOwned(src)
+	view := src.m.View(i, j, dst.Rows, dst.Cols)
+	dst.CopyFrom(view)
+	d.chargeTransfer(int64(dst.Rows) * int64(dst.Cols) * 8)
+}
+
+// SetSub uploads src into the (i, j)-anchored sub-matrix of dst.
+func (d *Device) SetSub(dst *Matrix, i, j int, src *mat.Dense) {
+	d.checkOwned(dst)
+	view := dst.m.View(i, j, src.Rows, src.Cols)
+	view.CopyFrom(src)
+	d.chargeTransfer(int64(src.Rows) * int64(src.Cols) * 8)
+}
+
+// ScaleCols multiplies column j of a by v[j] (right diagonal scaling), a
+// bandwidth-bound kernel like ScaleRows.
+func (d *Device) ScaleCols(a *Matrix, v *Matrix) {
+	d.checkOwned(a)
+	d.checkOwned(v)
+	if v.cols != 1 || v.rows != a.cols {
+		panic("gpu: ScaleCols dimension mismatch")
+	}
+	defer d.trackReal()()
+	vv := v.m.Col(0)
+	for j := 0; j < a.cols; j++ {
+		col := a.m.Col(j)
+		s := vv[j]
+		for i := range col {
+			col[i] *= s
+		}
+	}
+	d.chargeKernel(float64(a.rows)*float64(a.cols), 16*float64(a.rows)*float64(a.cols))
+}
+
+// ColumnNorms computes the Euclidean norm of every column on the device
+// (one bandwidth-bound reduction kernel) and downloads the n results —
+// the device half of the pre-pivoting step.
+func (d *Device) ColumnNorms(a *Matrix, dst []float64) {
+	d.checkOwned(a)
+	if len(dst) != a.cols {
+		panic("gpu: ColumnNorms length mismatch")
+	}
+	defer d.trackReal()()
+	for j := 0; j < a.cols; j++ {
+		var scale, ssq float64 = 0, 1
+		for _, x := range a.m.Col(j) {
+			if x == 0 {
+				continue
+			}
+			ax := math.Abs(x)
+			if scale < ax {
+				r := scale / ax
+				ssq = 1 + ssq*r*r
+				scale = ax
+			} else {
+				r := ax / scale
+				ssq += r * r
+			}
+		}
+		dst[j] = scale * math.Sqrt(ssq)
+	}
+	d.chargeKernel(2*float64(a.rows)*float64(a.cols), 8*float64(a.rows)*float64(a.cols))
+	d.chargeTransfer(int64(a.cols) * 8)
+}
+
+// PermuteCols gathers columns of a by perm in place (dst column j takes
+// source column perm[j]) — one gather kernel plus the tiny index upload.
+func (d *Device) PermuteCols(a *Matrix, perm []int) {
+	d.checkOwned(a)
+	if len(perm) != a.cols {
+		panic("gpu: PermuteCols length mismatch")
+	}
+	defer d.trackReal()()
+	tmp := mat.New(a.rows, a.cols)
+	for j, p := range perm {
+		copy(tmp.Col(j), a.m.Col(p))
+	}
+	a.m.CopyFrom(tmp)
+	d.chargeTransfer(int64(len(perm)) * 8)
+	d.chargeKernel(0, 16*float64(a.rows)*float64(a.cols))
+}
+
+// SwapRows exchanges rows r1 and r2 of a over columns [c0, c1) — the
+// pivoting primitive of the hybrid LU, bandwidth bound on the row pair.
+func (d *Device) SwapRows(a *Matrix, r1, r2, c0, c1 int) {
+	d.checkOwned(a)
+	if c1 > a.cols {
+		c1 = a.cols
+	}
+	if r1 == r2 || c0 >= c1 {
+		return
+	}
+	defer d.trackReal()()
+	for c := c0; c < c1; c++ {
+		col := a.m.Col(c)
+		col[r1], col[r2] = col[r2], col[r1]
+	}
+	d.chargeKernel(0, 32*float64(c1-c0))
+}
+
+// Axpy computes dst += alpha * src element-wise on the device.
+func (d *Device) Axpy(alpha float64, src, dst *Matrix) {
+	d.checkOwned(src)
+	d.checkOwned(dst)
+	if src.rows != dst.rows || src.cols != dst.cols {
+		panic("gpu: Axpy dimension mismatch")
+	}
+	defer d.trackReal()()
+	for j := 0; j < src.cols; j++ {
+		sc := src.m.Col(j)
+		dc := dst.m.Col(j)
+		for i := range sc {
+			dc[i] += alpha * sc[i]
+		}
+	}
+	d.chargeKernel(2*float64(src.rows)*float64(src.cols),
+		24*float64(src.rows)*float64(src.cols))
+}

@@ -1,0 +1,232 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"questgo/internal/greens"
+	"questgo/internal/hubbard"
+	"questgo/internal/lattice"
+	"questgo/internal/mat"
+	"questgo/internal/rng"
+)
+
+func testSetup(t *testing.T, nx, ny int, u, beta float64, l int, seed uint64) (*hubbard.Propagator, *hubbard.Field) {
+	t.Helper()
+	lat := lattice.NewSquare(nx, ny, 1)
+	m, err := hubbard.NewModel(lat, u, 0, beta, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := hubbard.NewPropagator(m)
+	f := hubbard.NewRandomField(l, m.N(), rng.New(seed))
+	return p, f
+}
+
+func randomDense(r *rng.Rand, n int) *mat.Dense {
+	m := mat.New(n, n)
+	for j := 0; j < n; j++ {
+		col := m.Col(j)
+		for i := range col {
+			col[i] = 2*r.Float64() - 1
+		}
+	}
+	return m
+}
+
+func TestTransferRoundTrip(t *testing.T) {
+	d := NewDevice(TeslaC2050())
+	r := rng.New(1)
+	h := randomDense(r, 8)
+	dm := d.Malloc(8, 8)
+	d.SetMatrix(dm, h)
+	back := mat.New(8, 8)
+	d.GetMatrix(back, dm)
+	if !back.EqualApprox(h, 0) {
+		t.Fatal("transfer round trip corrupted data")
+	}
+	if d.Transferred() != 2*8*8*8 {
+		t.Fatalf("transferred bytes = %d", d.Transferred())
+	}
+	if d.Clock() <= 0 {
+		t.Fatal("clock did not advance")
+	}
+}
+
+func TestDeviceGemmMatchesHost(t *testing.T) {
+	d := NewDevice(TeslaC2050())
+	r := rng.New(2)
+	a, b := randomDense(r, 12), randomDense(r, 12)
+	da, db, dc := d.Malloc(12, 12), d.Malloc(12, 12), d.Malloc(12, 12)
+	d.SetMatrix(da, a)
+	d.SetMatrix(db, b)
+	d.Dgemm(false, false, 1, da, db, 0, dc)
+	got := mat.New(12, 12)
+	d.GetMatrix(got, dc)
+	// Host reference.
+	want := mat.New(12, 12)
+	for j := 0; j < 12; j++ {
+		for i := 0; i < 12; i++ {
+			s := 0.0
+			for k := 0; k < 12; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	if !got.EqualApprox(want, 1e-12) {
+		t.Fatal("device Dgemm wrong")
+	}
+}
+
+func TestScaleRowsKernel(t *testing.T) {
+	d := NewDevice(TeslaC2050())
+	r := rng.New(3)
+	src := randomDense(r, 6)
+	v := []float64{1, 2, 3, 4, 5, 6}
+	dsrc, ddst, dv := d.Malloc(6, 6), d.Malloc(6, 6), d.Malloc(6, 1)
+	d.SetMatrix(dsrc, src)
+	d.SetVector(dv, v)
+	d.ScaleRows(ddst, dsrc, dv)
+	got := mat.New(6, 6)
+	d.GetMatrix(got, ddst)
+	want := src.Clone()
+	want.ScaleRows(v)
+	if !got.EqualApprox(want, 0) {
+		t.Fatal("ScaleRows kernel wrong")
+	}
+}
+
+func TestScaleRowsColsKernel(t *testing.T) {
+	d := NewDevice(TeslaC2050())
+	r := rng.New(4)
+	g := randomDense(r, 5)
+	v := []float64{2, 0.5, 3, 1.5, 4}
+	dg, dv := d.Malloc(5, 5), d.Malloc(5, 1)
+	d.SetMatrix(dg, g)
+	d.SetVector(dv, v)
+	d.ScaleRowsCols(dg, dv)
+	got := mat.New(5, 5)
+	d.GetMatrix(got, dg)
+	want := g.Clone()
+	want.ScaleRows(v)
+	inv := make([]float64, 5)
+	for i := range v {
+		inv[i] = 1 / v[i]
+	}
+	want.ScaleCols(inv)
+	if !got.EqualApprox(want, 1e-15) {
+		t.Fatal("ScaleRowsCols kernel wrong")
+	}
+}
+
+func TestAcceleratorClusterMatchesCPU(t *testing.T) {
+	p, f := testSetup(t, 3, 3, 4, 2, 8, 5)
+	dev := NewDevice(TeslaC2050())
+	acc := NewAccelerator(dev, p)
+	cpu := greens.NewClusterSet(p, f, hubbard.Up, 4)
+	gpuCS := NewClusterSet(acc, f, hubbard.Up, 4)
+	for c := 0; c < 2; c++ {
+		if d := mat.RelDiff(gpuCS.Cluster(c), cpu.Cluster(c)); d > 1e-13 {
+			t.Fatalf("cluster %d: GPU vs CPU diff %g", c, d)
+		}
+	}
+}
+
+func TestAcceleratorWrapMatchesCPU(t *testing.T) {
+	p, f := testSetup(t, 3, 3, 4, 2, 8, 7)
+	bs := make([]*mat.Dense, p.Model.L)
+	for i := range bs {
+		bs[i] = p.BMatrix(hubbard.Up, f, i)
+	}
+	gCPU := greens.Green(bs)
+	gGPU := gCPU.Clone()
+	w := greens.NewWrapper(p)
+	w.Wrap(gCPU, f, hubbard.Up, 0)
+	dev := NewDevice(TeslaC2050())
+	acc := NewAccelerator(dev, p)
+	acc.Wrap(gGPU, f, hubbard.Up, 0)
+	if d := mat.RelDiff(gGPU, gCPU); d > 1e-12 {
+		t.Fatalf("GPU wrap vs CPU wrap diff %g", d)
+	}
+}
+
+func TestHybridGreenMatchesCPU(t *testing.T) {
+	p, f := testSetup(t, 3, 3, 4, 4, 16, 9)
+	dev := NewDevice(TeslaC2050())
+	acc := NewAccelerator(dev, p)
+	gpuCS := NewClusterSet(acc, f, hubbard.Up, 4)
+	cpuCS := greens.NewClusterSet(p, f, hubbard.Up, 4)
+	gGPU := gpuCS.GreenAt(0)
+	gCPU := cpuCS.GreenAt(0, true)
+	if d := mat.RelDiff(gGPU, gCPU); d > 1e-11 {
+		t.Fatalf("hybrid G vs CPU G diff %g", d)
+	}
+}
+
+func TestCostModelShapes(t *testing.T) {
+	// The paper's Figure 9 phenomenon: for the same N, clustering (k GEMMs
+	// per result transfer) must achieve a higher modeled rate than
+	// wrapping (2 GEMMs per full G round trip).
+	p, f := testSetup(t, 8, 8, 4, 2, 20, 11)
+	dev := NewDevice(TeslaC2050())
+	acc := NewAccelerator(dev, p)
+	n := p.Model.N()
+
+	dev.Reset()
+	dst := mat.New(n, n)
+	acc.Cluster(dst, f, hubbard.Up, 0, 10)
+	clusterRate := dev.GFlopsRate()
+
+	dev.Reset()
+	g := randomDense(rng.New(1), n)
+	acc.Wrap(g, f, hubbard.Up, 0)
+	wrapRate := dev.GFlopsRate()
+
+	if clusterRate <= wrapRate {
+		t.Fatalf("clustering rate %.1f should exceed wrapping rate %.1f", clusterRate, wrapRate)
+	}
+	// Rates grow with N (Figure 9's upward trend): compare against a
+	// smaller lattice.
+	p2, f2 := testSetup(t, 4, 4, 4, 2, 20, 13)
+	dev2 := NewDevice(TeslaC2050())
+	acc2 := NewAccelerator(dev2, p2)
+	dev2.Reset()
+	dst2 := mat.New(16, 16)
+	acc2.Cluster(dst2, f2, hubbard.Up, 0, 10)
+	if dev2.GFlopsRate() >= clusterRate {
+		t.Fatalf("cluster rate should grow with N: N=16 %.1f vs N=64 %.1f",
+			dev2.GFlopsRate(), clusterRate)
+	}
+}
+
+func TestClockMonotonicAndReset(t *testing.T) {
+	d := NewDevice(TeslaC2050())
+	m := d.Malloc(4, 4)
+	h := mat.New(4, 4)
+	var prev time.Duration
+	for i := 0; i < 3; i++ {
+		d.SetMatrix(m, h)
+		if d.Clock() <= prev {
+			t.Fatal("clock must advance")
+		}
+		prev = d.Clock()
+	}
+	d.Reset()
+	if d.Clock() != 0 || d.Transferred() != 0 || d.Flops() != 0 || d.Kernels() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestCrossDevicePanics(t *testing.T) {
+	d1 := NewDevice(TeslaC2050())
+	d2 := NewDevice(TeslaC2050())
+	a := d1.Malloc(2, 2)
+	b := d2.Malloc(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for cross-device operands")
+		}
+	}()
+	d1.Dgemm(false, false, 1, a, b, 0, a)
+}

@@ -1,0 +1,129 @@
+package gpu
+
+import (
+	"questgo/internal/greens"
+	"questgo/internal/hubbard"
+	"questgo/internal/mat"
+)
+
+// Accelerator owns the device-resident state of a DQMC offload session:
+// the fixed kinetic propagators B and B^{-1} are uploaded once at the start
+// of the simulation (the paper notes this amortization explicitly), and
+// scratch matrices are reused across calls.
+type Accelerator struct {
+	Dev  *Device
+	prop *hubbard.Propagator
+
+	bKin, bInv *Matrix
+	t, a, g    *Matrix // scratch
+	v          *Matrix // diagonal vector
+	hostV      []float64
+}
+
+// NewAccelerator uploads the kinetic propagators and allocates scratch.
+func NewAccelerator(dev *Device, prop *hubbard.Propagator) *Accelerator {
+	n := prop.Model.N()
+	acc := &Accelerator{
+		Dev:   dev,
+		prop:  prop,
+		bKin:  dev.Malloc(n, n),
+		bInv:  dev.Malloc(n, n),
+		t:     dev.Malloc(n, n),
+		a:     dev.Malloc(n, n),
+		g:     dev.Malloc(n, n),
+		v:     dev.Malloc(n, 1),
+		hostV: make([]float64, n),
+	}
+	dev.SetMatrix(acc.bKin, prop.Bkin)
+	dev.SetMatrix(acc.bInv, prop.Binv)
+	return acc
+}
+
+// Cluster computes the matrix cluster
+//
+//	A = B_{base+k-1} ... B_{base+1} B_{base}
+//
+// on the device (the paper's Algorithm 4, using the Algorithm 5 row-scaling
+// kernel instead of per-row Dscal calls) and stores the result into dst on
+// the host. Only the k diagonal V_l vectors and the result cross the bus.
+func (acc *Accelerator) Cluster(dst *mat.Dense, f *hubbard.Field, sigma hubbard.Spin, base, k int) {
+	dev := acc.Dev
+	// A = V_base * B
+	acc.prop.VDiag(sigma, f, base, acc.hostV)
+	dev.SetVector(acc.v, acc.hostV)
+	dev.ScaleRows(acc.a, acc.bKin, acc.v)
+	for j := 1; j < k; j++ {
+		// T = B * A; A = V_{base+j} * T
+		dev.Dgemm(false, false, 1, acc.bKin, acc.a, 0, acc.t)
+		acc.prop.VDiag(sigma, f, base+j, acc.hostV)
+		dev.SetVector(acc.v, acc.hostV)
+		dev.ScaleRows(acc.a, acc.t, acc.v)
+	}
+	dev.GetMatrix(dst, acc.a)
+}
+
+// Wrap advances the equal-time Green's function G <- B_l G B_l^{-1} on the
+// device (Algorithm 6, with the Algorithm 7 combined row/column scaling
+// kernel): upload G, two GEMMs against the resident propagators, one
+// scaling kernel, download G.
+func (acc *Accelerator) Wrap(g *mat.Dense, f *hubbard.Field, sigma hubbard.Spin, l int) {
+	dev := acc.Dev
+	dev.SetMatrix(acc.g, g)
+	dev.Dgemm(false, false, 1, acc.bKin, acc.g, 0, acc.t)
+	dev.Dgemm(false, false, 1, acc.t, acc.bInv, 0, acc.g)
+	acc.prop.VDiag(sigma, f, l, acc.hostV)
+	dev.SetVector(acc.v, acc.hostV)
+	dev.ScaleRowsCols(acc.g, acc.v)
+	dev.GetMatrix(g, acc.g)
+}
+
+// ClusterSet mirrors greens.ClusterSet but builds the cluster products on
+// the device; it satisfies the same recompute-on-change recycling contract.
+type ClusterSet struct {
+	K        int
+	NC       int
+	sigma    hubbard.Spin
+	acc      *Accelerator
+	clusters []*mat.Dense
+}
+
+// NewClusterSet builds all clusters for one spin on the accelerator.
+func NewClusterSet(acc *Accelerator, f *hubbard.Field, sigma hubbard.Spin, k int) *ClusterSet {
+	l := acc.prop.Model.L
+	if k < 1 || l%k != 0 {
+		panic("gpu: cluster size must divide the slice count")
+	}
+	n := acc.prop.Model.N()
+	cs := &ClusterSet{K: k, NC: l / k, sigma: sigma, acc: acc, clusters: make([]*mat.Dense, l/k)}
+	for c := range cs.clusters {
+		cs.clusters[c] = mat.New(n, n)
+		cs.Recompute(f, c)
+	}
+	return cs
+}
+
+// Recompute rebuilds cluster c on the device.
+func (cs *ClusterSet) Recompute(f *hubbard.Field, c int) {
+	cs.acc.Cluster(cs.clusters[c], f, cs.sigma, c*cs.K, cs.K)
+}
+
+// Cluster returns the host copy of cluster c.
+func (cs *ClusterSet) Cluster(c int) *mat.Dense { return cs.clusters[c] }
+
+// Chain returns the clusters in application order for boundary c (see
+// greens.ClusterSet.Chain).
+func (cs *ClusterSet) Chain(c int) []*mat.Dense {
+	out := make([]*mat.Dense, 0, cs.NC)
+	for i := 0; i < cs.NC; i++ {
+		out = append(out, cs.clusters[(c+i)%cs.NC])
+	}
+	return out
+}
+
+// GreenAt evaluates the stratified Green's function at boundary c: the
+// cluster products come from the device, the pre-pivoted stratification
+// (Algorithm 3) runs on the host — the hybrid split of the paper's
+// Section VI-C.
+func (cs *ClusterSet) GreenAt(c int) *mat.Dense {
+	return greens.Green(cs.Chain(c))
+}

@@ -1,0 +1,96 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"questgo/internal/hubbard"
+	"questgo/internal/mat"
+	"questgo/internal/measure"
+	"questgo/internal/profile"
+	"questgo/internal/rng"
+	"questgo/internal/update"
+)
+
+func TestHybridSweeperGreenConsistency(t *testing.T) {
+	p, f := testSetup(t, 3, 3, 4, 2, 8, 51)
+	dev := NewDevice(TeslaC2050())
+	sw := NewSweeper(dev, p, f, rng.New(5), SweeperOptions{ClusterK: 4, Delay: 3})
+	for i := 0; i < 3; i++ {
+		sw.Sweep()
+	}
+	// The incrementally maintained G must match a fresh CPU evaluation of
+	// the final field.
+	fresh := sw.freshCPU(hubbard.Up)
+	if d := mat.RelDiff(sw.GreenUp(), fresh); d > 1e-8 {
+		t.Fatalf("hybrid sweeper G drifted: %g", d)
+	}
+	fresh = sw.freshCPU(hubbard.Down)
+	if d := mat.RelDiff(sw.GreenDn(), fresh); d > 1e-8 {
+		t.Fatalf("hybrid sweeper spin-down G drifted: %g", d)
+	}
+	if sw.AcceptanceRate() <= 0 || sw.AcceptanceRate() >= 1 {
+		t.Fatalf("acceptance %v implausible", sw.AcceptanceRate())
+	}
+	if dev.Flops() == 0 {
+		t.Fatal("device unused")
+	}
+}
+
+func TestHybridSweeperPhysicsAgreesWithCPU(t *testing.T) {
+	// Same model, independent chains: observables must agree within
+	// combined statistical errors.
+	run := func(hybrid bool) (docc, saf float64) {
+		p, f := testSetup(t, 4, 4, 4, 2, 16, 53)
+		r := rng.New(77)
+		var dSum, sSum float64
+		const warm, meas = 30, 80
+		if hybrid {
+			dev := NewDevice(TeslaC2050())
+			sw := NewSweeper(dev, p, f, r, SweeperOptions{ClusterK: 8})
+			for i := 0; i < warm; i++ {
+				sw.Sweep()
+			}
+			for i := 0; i < meas; i++ {
+				sw.Sweep()
+				et := measure.Measure(p.Model.Lat, sw.GreenUp(), sw.GreenDn(), sw.Sign())
+				dSum += et.DoubleOcc / meas
+				sSum += et.AFStructureFactor() / meas
+			}
+		} else {
+			sw := update.NewSweeper(p, f, r, update.Options{ClusterK: 8})
+			for i := 0; i < warm; i++ {
+				sw.Sweep()
+			}
+			for i := 0; i < meas; i++ {
+				sw.Sweep()
+				et := measure.Measure(p.Model.Lat, sw.GreenUp(), sw.GreenDn(), sw.Sign())
+				dSum += et.DoubleOcc / meas
+				sSum += et.AFStructureFactor() / meas
+			}
+		}
+		return dSum, sSum
+	}
+	dH, sH := run(true)
+	dC, sC := run(false)
+	if math.Abs(dH-dC) > 0.01 {
+		t.Fatalf("double occupancy: hybrid %v vs CPU %v", dH, dC)
+	}
+	if math.Abs(sH-sC) > 0.4 {
+		t.Fatalf("S(pi,pi): hybrid %v vs CPU %v", sH, sC)
+	}
+	t.Logf("hybrid vs CPU: docc %.4f/%.4f, S_AF %.3f/%.3f", dH, dC, sH, sC)
+}
+
+func TestHybridSweeperProfile(t *testing.T) {
+	p, f := testSetup(t, 3, 3, 4, 2, 8, 57)
+	prof := profile.New()
+	dev := NewDevice(TeslaC2050())
+	sw := NewSweeper(dev, p, f, rng.New(3), SweeperOptions{ClusterK: 4, Prof: prof})
+	sw.Sweep()
+	for c := profile.DelayedUpdate; c <= profile.Wrapping; c++ {
+		if prof.Duration(c) == 0 {
+			t.Fatalf("phase %s never timed", c.Name())
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package greens
+
+import (
+	"math/big"
+
+	"questgo/internal/mat"
+)
+
+// GreenBigFloat evaluates G = (I + bs[last] ... bs[0])^{-1} in
+// high-precision arithmetic (prec bits) and rounds the result to float64.
+// It is the test oracle that lets us quantify, on small systems, how many
+// digits the float64 algorithms actually deliver: the naive product loses
+// everything at large beta*U while both stratifications stay near machine
+// precision — the claim behind the paper's Figure 2.
+func GreenBigFloat(bs []*mat.Dense, prec uint) *mat.Dense {
+	n := bs[0].Rows
+	p := bigFromDense(bs[0], prec)
+	for i := 1; i < len(bs); i++ {
+		p = bigMul(bigFromDense(bs[i], prec), p, prec)
+	}
+	one := new(big.Float).SetPrec(prec).SetInt64(1)
+	for i := 0; i < n; i++ {
+		p[i][i].Add(p[i][i], one)
+	}
+	inv := bigInverse(p, prec)
+	out := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v, _ := inv[i][j].Float64()
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}
+
+func bigFromDense(a *mat.Dense, prec uint) [][]*big.Float {
+	n, m := a.Rows, a.Cols
+	out := make([][]*big.Float, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]*big.Float, m)
+		for j := 0; j < m; j++ {
+			out[i][j] = new(big.Float).SetPrec(prec).SetFloat64(a.At(i, j))
+		}
+	}
+	return out
+}
+
+func bigMul(a, b [][]*big.Float, prec uint) [][]*big.Float {
+	n := len(a)
+	m := len(b[0])
+	k := len(b)
+	out := make([][]*big.Float, n)
+	t := new(big.Float).SetPrec(prec)
+	for i := 0; i < n; i++ {
+		out[i] = make([]*big.Float, m)
+		for j := 0; j < m; j++ {
+			s := new(big.Float).SetPrec(prec)
+			for kk := 0; kk < k; kk++ {
+				t.Mul(a[i][kk], b[kk][j])
+				s.Add(s, t)
+			}
+			out[i][j] = s
+		}
+	}
+	return out
+}
+
+// bigInverse performs Gauss-Jordan elimination with partial pivoting.
+func bigInverse(a [][]*big.Float, prec uint) [][]*big.Float {
+	n := len(a)
+	// Augment with identity.
+	inv := make([][]*big.Float, n)
+	for i := 0; i < n; i++ {
+		inv[i] = make([]*big.Float, n)
+		for j := 0; j < n; j++ {
+			inv[i][j] = new(big.Float).SetPrec(prec)
+			if i == j {
+				inv[i][j].SetInt64(1)
+			}
+		}
+	}
+	t := new(big.Float).SetPrec(prec)
+	abs := func(x *big.Float) *big.Float { return new(big.Float).SetPrec(prec).Abs(x) }
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		best := abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if c := abs(a[r][col]); c.Cmp(best) > 0 {
+				best, p = c, r
+			}
+		}
+		a[col], a[p] = a[p], a[col]
+		inv[col], inv[p] = inv[p], inv[col]
+		piv := new(big.Float).SetPrec(prec).Quo(new(big.Float).SetPrec(prec).SetInt64(1), a[col][col])
+		for j := 0; j < n; j++ {
+			a[col][j].Mul(a[col][j], piv)
+			inv[col][j].Mul(inv[col][j], piv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := new(big.Float).SetPrec(prec).Set(a[r][col])
+			if f.Sign() == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				t.Mul(f, a[col][j])
+				a[r][j].Sub(a[r][j], t)
+				t.Mul(f, inv[col][j])
+				inv[r][j].Sub(inv[r][j], t)
+			}
+		}
+	}
+	return inv
+}

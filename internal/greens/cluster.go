@@ -1,0 +1,154 @@
+package greens
+
+import (
+	"questgo/internal/blas"
+	"questgo/internal/hubbard"
+	"questgo/internal/mat"
+)
+
+// ClusterSet stores the products of k consecutive B matrices,
+//
+//	Bhat_c = B_{ck+k} * ... * B_{ck+2} * B_{ck+1}   (1-based slice labels),
+//
+// so the stratification loop runs over L/k clusters instead of L slices
+// (Section III-A2), and so unchanged clusters can be *recycled* across
+// Green's function recomputations and across sweeps (Section III-B2): when
+// only the slices of cluster c were re-sampled, only Bhat_c is rebuilt.
+type ClusterSet struct {
+	K        int // slices per cluster
+	NC       int // number of clusters = L/K
+	sigma    hubbard.Spin
+	prop     *hubbard.Propagator
+	clusters []*mat.Dense
+	tmp      *mat.Dense
+	v        []float64
+}
+
+// NewClusterSet builds all cluster products for one spin species. L must be
+// divisible by k.
+func NewClusterSet(p *hubbard.Propagator, f *hubbard.Field, sigma hubbard.Spin, k int) *ClusterSet {
+	l := p.Model.L
+	if k < 1 || l%k != 0 {
+		panic("greens: cluster size must divide the slice count")
+	}
+	n := p.Model.N()
+	cs := &ClusterSet{
+		K:        k,
+		NC:       l / k,
+		sigma:    sigma,
+		prop:     p,
+		clusters: make([]*mat.Dense, l/k),
+		tmp:      mat.New(n, n),
+		v:        make([]float64, n),
+	}
+	for c := range cs.clusters {
+		cs.clusters[c] = mat.New(n, n)
+		cs.Recompute(f, c)
+	}
+	return cs
+}
+
+// Recompute rebuilds cluster c from the current field. This is the
+// CPU analogue of the paper's Algorithm 4 (the GPU version lives in
+// internal/gpu): A = B_{ck+k} ... B_{ck+1} built by alternating GEMMs with
+// the fixed kinetic propagator and diagonal row scalings.
+func (cs *ClusterSet) Recompute(f *hubbard.Field, c int) {
+	a, spare := cs.clusters[c], cs.tmp
+	base := c * cs.K
+	// A = V_{base} * Bkin
+	a.CopyFrom(cs.prop.Bkin)
+	cs.prop.VDiag(cs.sigma, f, base, cs.v)
+	a.ScaleRows(cs.v)
+	for j := 1; j < cs.K; j++ {
+		// A = V_{base+j} * (Bkin * A)
+		blas.Gemm(false, false, 1, cs.prop.Bkin, a, 0, spare)
+		cs.prop.VDiag(cs.sigma, f, base+j, cs.v)
+		spare.ScaleRows(cs.v)
+		a, spare = spare, a
+	}
+	if a != cs.clusters[c] {
+		// The result landed in the scratch buffer: adopt it as the stored
+		// cluster and keep the old cluster matrix as future scratch.
+		cs.clusters[c], cs.tmp = a, spare
+	}
+}
+
+// Cluster returns the stored product for cluster c (do not modify).
+func (cs *ClusterSet) Cluster(c int) *mat.Dense { return cs.clusters[c] }
+
+// Chain returns the cluster matrices in the application order that makes
+//
+//	G_l = (I + Bhat_c ... Bhat_1 Bhat_NC ... Bhat_{c+1})^{-1}
+//
+// for l = c*K, i.e. the Green's function seen after sweeping the first c
+// clusters (c = 0 gives the standard G = (I + Bhat_NC ... Bhat_1)^{-1}).
+// The slice is freshly allocated; the matrices are shared.
+func (cs *ClusterSet) Chain(c int) []*mat.Dense {
+	out := make([]*mat.Dense, 0, cs.NC)
+	for i := 0; i < cs.NC; i++ {
+		out = append(out, cs.clusters[(c+i)%cs.NC])
+	}
+	return out
+}
+
+// GreenAt evaluates the stratified Green's function after cluster c with
+// Algorithm 3 (prePivot=true is the production path; false selects the
+// Algorithm 2 reference).
+func (cs *ClusterSet) GreenAt(c int, prePivot bool) *mat.Dense {
+	chain := cs.Chain(c)
+	if prePivot {
+		return Green(chain)
+	}
+	return GreenQRP(chain)
+}
+
+// Wrapper advances an equal-time Green's function from slice l-1 to l:
+//
+//	G_l = B_l G_{l-1} B_l^{-1}
+//	    = V_l Bkin G Bkin^{-1} V_l^{-1}
+//
+// (Section III-B1). The two GEMMs dominate; the diagonal scalings are the
+// fine-grained operations the paper parallelizes by hand (and offloads in
+// its Algorithm 6/7 GPU variant).
+type Wrapper struct {
+	prop *hubbard.Propagator
+	tmp  *mat.Dense
+	v    []float64
+}
+
+// NewWrapper allocates the scratch for N x N wrapping.
+func NewWrapper(p *hubbard.Propagator) *Wrapper {
+	n := p.Model.N()
+	return &Wrapper{prop: p, tmp: mat.New(n, n), v: make([]float64, n)}
+}
+
+// Wrap overwrites g with B_l G B_l^{-1} for the given slice and spin.
+func (w *Wrapper) Wrap(g *mat.Dense, f *hubbard.Field, sigma hubbard.Spin, l int) {
+	// tmp = Bkin * G
+	blas.Gemm(false, false, 1, w.prop.Bkin, g, 0, w.tmp)
+	// g = tmp * Binv
+	blas.Gemm(false, false, 1, w.tmp, w.prop.Binv, 0, g)
+	// g = V_l g V_l^{-1}: row scale by v, column scale by 1/v.
+	w.prop.VDiag(sigma, f, l, w.v)
+	g.ScaleRows(w.v)
+	for i := range w.v {
+		w.v[i] = 1 / w.v[i]
+	}
+	g.ScaleCols(w.v)
+}
+
+// WrapInverse undoes Wrap: g <- B_l^{-1} G B_l, used by tests to verify the
+// wrapping identity.
+func (w *Wrapper) WrapInverse(g *mat.Dense, f *hubbard.Field, sigma hubbard.Spin, l int) {
+	w.prop.VDiag(sigma, f, l, w.v)
+	for i := range w.v {
+		w.v[i] = 1 / w.v[i]
+	}
+	g.ScaleRows(w.v)
+	for i := range w.v {
+		w.v[i] = 1 / w.v[i]
+	}
+	g.ScaleCols(w.v)
+	blas.Gemm(false, false, 1, w.prop.Binv, g, 0, w.tmp)
+	blas.Gemm(false, false, 1, w.tmp, w.prop.Bkin, 0, g)
+}

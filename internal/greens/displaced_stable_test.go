@@ -1,0 +1,147 @@
+package greens
+
+import (
+	"math/big"
+	"testing"
+
+	"questgo/internal/hubbard"
+	"questgo/internal/lattice"
+	"questgo/internal/mat"
+	"questgo/internal/rng"
+)
+
+// bigDisplaced computes B_l ... B_1 (I + B_L ... B_1)^{-1} entirely in
+// high precision — G(0) is never rounded to float64 before the chain
+// multiplication (rounding it would inject eps*||B_l...B_1|| error into
+// the "reference", swamping the quantity under test).
+func bigDisplaced(p *hubbard.Propagator, f *hubbard.Field, sigma hubbard.Spin, l int, prec uint) *mat.Dense {
+	n := p.Model.N()
+	bs := make([]*mat.Dense, p.Model.L)
+	for i := range bs {
+		bs[i] = p.BMatrix(sigma, f, i)
+	}
+	// Full product in big precision.
+	prod := bigFromDense(bs[0], prec)
+	var partial [][]*big.Float
+	if l == 0 {
+		partial = bigFromDense(mat.Identity(n), prec)
+	}
+	for i := 1; i < len(bs); i++ {
+		if i == l {
+			partial = cloneBig(prod, prec)
+		}
+		prod = bigMul(bigFromDense(bs[i], prec), prod, prec)
+	}
+	if l == len(bs) {
+		partial = cloneBig(prod, prec)
+	}
+	// G0 = (I + prod)^{-1} in big precision.
+	one := new(big.Float).SetPrec(prec).SetInt64(1)
+	for i := 0; i < n; i++ {
+		prod[i][i].Add(prod[i][i], one)
+	}
+	g0 := bigInverse(prod, prec)
+	res := bigMul(partial, g0, prec)
+	out := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v, _ := res[i][j].Float64()
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}
+
+func cloneBig(a [][]*big.Float, prec uint) [][]*big.Float {
+	out := make([][]*big.Float, len(a))
+	for i := range a {
+		out[i] = make([]*big.Float, len(a[i]))
+		for j := range a[i] {
+			out[i][j] = new(big.Float).SetPrec(prec).Set(a[i][j])
+		}
+	}
+	return out
+}
+
+func TestDisplacedGreenMatchesBigFloat(t *testing.T) {
+	// Strong coupling (U = 8, beta = 5, partial-product condition numbers
+	// up to ~1e22): the two-sided evaluation must track the 256-bit
+	// reference to near machine precision at *every* displacement. (Note
+	// the reference must itself be computed end-to-end in high precision:
+	// rounding G(0) to float64 before the chain multiplication injects
+	// eps*||B_l...B_1|| of error — the very amplification the two-sided
+	// formula exists to avoid.)
+	p, f, _ := testChain(t, 2, 2, 8, 5, 25, 53)
+	for _, l := range []int{1, 5, 12, 20, 24, 25} {
+		got := DisplacedGreen(p, f, hubbard.Up, l, 5)
+		want := bigDisplaced(p, f, hubbard.Up, l, 256)
+		if d := mat.RelDiff(got, want); d > 1e-10 {
+			t.Fatalf("l=%d: stable displaced G rel diff %g", l, d)
+		}
+	}
+}
+
+func TestDisplacedGreenShortTauMatchesWalker(t *testing.T) {
+	p, f, bs := testChain(t, 3, 3, 4, 2, 8, 61)
+	g0 := Green(bs)
+	w := NewDisplacedWalker(p, g0, hubbard.Up, 4)
+	for s := 0; s < 3; s++ {
+		w.Step(f)
+	}
+	stable := DisplacedGreen(p, f, hubbard.Up, 3, 4)
+	if d := mat.RelDiff(w.Current(), stable); d > 1e-9 {
+		t.Fatalf("walker vs stable at short tau: %g", d)
+	}
+}
+
+func TestDisplacedGreenAntiperiodicity(t *testing.T) {
+	p, f, bs := testChain(t, 3, 3, 6, 3, 12, 67)
+	g0 := Green(bs)
+	gBeta := DisplacedGreen(p, f, hubbard.Up, p.Model.L, 4)
+	want := mat.Identity(g0.Rows)
+	want.Add(-1, g0)
+	if d := mat.RelDiff(gBeta, want); d > 1e-9 {
+		t.Fatalf("G(beta,0) != I - G(0): %g", d)
+	}
+}
+
+func TestDisplacedGreenFreeFermions(t *testing.T) {
+	lat := lattice.NewSquare(4, 4, 1)
+	beta, L := 6.0, 30
+	model, err := hubbard.NewModel(lat, 0, 0, beta, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := hubbard.NewPropagator(model)
+	f := hubbard.NewRandomField(L, model.N(), rng.New(2))
+	dtau := beta / float64(L)
+	for _, l := range []int{1, 10, 15, 30} {
+		got := DisplacedGreen(p, f, hubbard.Up, l, 10)
+		want := freeDisplaced(lat, beta, dtau*float64(l))
+		if d := mat.RelDiff(got, want); d > 1e-9 {
+			t.Fatalf("free fermions l=%d: %g", l, d)
+		}
+	}
+}
+
+func TestInvertUDTSumEqualTimeConsistency(t *testing.T) {
+	// (I + B_L...B_1)^{-1} via InvertUDTSum(identity, chain) must equal
+	// the production equal-time evaluation.
+	_, _, bs := testChain(t, 3, 3, 6, 4, 16, 71)
+	udtB := StratifyPrePivot(bs)
+	g1 := InvertUDTSum(identityUDT(bs[0].Rows), udtB)
+	g2 := Green(bs)
+	if d := mat.RelDiff(g1, g2); d > 1e-10 {
+		t.Fatalf("UDT-sum vs stratified equal-time G: %g", d)
+	}
+}
+
+func TestDisplacedGreenPanicsOutOfRange(t *testing.T) {
+	p, f, _ := testChain(t, 2, 2, 4, 1, 4, 73)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for l = 0")
+		}
+	}()
+	DisplacedGreen(p, f, hubbard.Up, 0, 2)
+}

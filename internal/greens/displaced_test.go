@@ -1,0 +1,120 @@
+package greens
+
+import (
+	"math"
+	"testing"
+
+	"questgo/internal/blas"
+	"questgo/internal/hubbard"
+	"questgo/internal/lapack"
+	"questgo/internal/lattice"
+	"questgo/internal/mat"
+	"questgo/internal/rng"
+)
+
+// freeDisplaced builds the exact U = 0 displaced Green's function
+// G(tau, 0) = e^{-tau*K} (I + e^{-beta*K})^{-1} spectrally.
+func freeDisplaced(lat *lattice.Lattice, beta, tau float64) *mat.Dense {
+	k := lat.KMatrix(0)
+	eps, z := lapack.SymEig(k)
+	n := lat.N()
+	zg := z.Clone()
+	gl := make([]float64, n)
+	for i, e := range eps {
+		// e^{-tau e} / (1 + e^{-beta e}), computed stably for both signs.
+		if e >= 0 {
+			gl[i] = math.Exp(-tau*e) / (1 + math.Exp(-beta*e))
+		} else {
+			gl[i] = math.Exp((beta-tau)*e) / (1 + math.Exp(beta*e))
+		}
+	}
+	zg.ScaleCols(gl)
+	g := mat.New(n, n)
+	blas.Gemm(false, true, 1, zg, z, 0, g)
+	return g
+}
+
+func TestDisplacedWalkerFreeFermions(t *testing.T) {
+	// At U = 0 the HS field drops out and G(tau) must match the analytic
+	// free propagator at every slice.
+	lat := lattice.NewSquare(4, 4, 1)
+	beta, l := 4.0, 32
+	model, err := hubbard.NewModel(lat, 0, 0, beta, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := hubbard.NewPropagator(model)
+	f := hubbard.NewRandomField(l, model.N(), rng.New(1))
+	g0 := freeDisplaced(lat, beta, 0)
+	w := NewDisplacedWalker(p, g0, hubbard.Up, 8)
+	dtau := beta / float64(l)
+	for s := 1; s <= l; s++ {
+		w.Step(f)
+		want := freeDisplaced(lat, beta, dtau*float64(s))
+		got := w.Current()
+		if d := mat.RelDiff(got, want); d > 1e-8 {
+			t.Fatalf("tau step %d: rel diff %g", s, d)
+		}
+	}
+}
+
+func TestDisplacedWalkerMatchesNaiveShort(t *testing.T) {
+	p, f, bs := testChain(t, 3, 3, 4, 2, 8, 51)
+	g0 := Green(bs)
+	w := NewDisplacedWalker(p, g0, hubbard.Up, 3)
+	for s := 0; s < 5; s++ {
+		w.Step(f)
+	}
+	naive := DisplacedNaive(p, f, g0, hubbard.Up, 5)
+	if d := mat.RelDiff(w.Current(), naive); d > 1e-10 {
+		t.Fatalf("walker vs naive short-tau: %g", d)
+	}
+	if w.Tau() != 5 {
+		t.Fatalf("Tau = %d", w.Tau())
+	}
+}
+
+func TestDisplacedWalkerLimitationVsStable(t *testing.T) {
+	// Strong coupling, long displacement: forward propagation amplifies
+	// the float64 rounding of its G(0) starting point by the norm of the
+	// accumulated product — by tau = beta on this configuration it has
+	// lost ~12 digits. The two-sided evaluation (DisplacedGreen) never
+	// multiplies the chain into G(0) and must stay near machine accuracy.
+	p, f, _ := testChain(t, 2, 2, 8, 5, 25, 53)
+	steps := 24 // stay off the l = L antiperiodicity special case
+	ref := bigDisplaced(p, f, hubbard.Up, steps, 256)
+	g0 := bigDisplaced(p, f, hubbard.Up, 25, 256) // = I - G(0); recover G(0)
+	n := g0.Rows
+	gStart := mat.Identity(n)
+	gStart.Add(-1, g0)
+	w := NewDisplacedWalker(p, gStart, hubbard.Up, 5)
+	for s := 0; s < steps; s++ {
+		w.Step(f)
+	}
+	walkerErr := mat.RelDiff(w.Current(), ref)
+	stableErr := mat.RelDiff(DisplacedGreen(p, f, hubbard.Up, steps, 5), ref)
+	if stableErr > 1e-10 {
+		t.Fatalf("stable displaced G inaccurate: %g", stableErr)
+	}
+	if walkerErr < 100*stableErr {
+		t.Fatalf("expected forward propagation to be much worse (walker %g, stable %g); the instability this test documents has vanished", walkerErr, stableErr)
+	}
+	t.Logf("rel err vs 256-bit reference at tau near beta: walker %.2e, stable %.2e", walkerErr, stableErr)
+}
+
+func TestDisplacedAntiperiodicity(t *testing.T) {
+	// Fermionic boundary condition: G(beta, 0) = I - G(0, 0) when
+	// propagating through the full chain of the same field.
+	p, f, bs := testChain(t, 3, 3, 4, 2, 8, 57)
+	g0 := Green(bs)
+	w := NewDisplacedWalker(p, g0, hubbard.Up, 4)
+	for s := 0; s < p.Model.L; s++ {
+		w.Step(f)
+	}
+	got := w.Current()
+	want := mat.Identity(g0.Rows)
+	want.Add(-1, g0)
+	if d := mat.RelDiff(got, want); d > 1e-8 {
+		t.Fatalf("G(beta,0) != I - G(0): rel diff %g", d)
+	}
+}

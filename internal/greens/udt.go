@@ -1,0 +1,228 @@
+// Package greens evaluates the DQMC equal-time Green's function
+//
+//	G = (I + B_L B_{L-1} ... B_1)^{-1}
+//
+// with the numerically stable graded (UDT) decompositions of the paper:
+// Algorithm 2, the classic Loh et al. stratification built on QR with
+// column pivoting, and Algorithm 3, the paper's contribution, which
+// replaces per-step pivoting by a pre-computed column-norm permutation
+// followed by an ordinary blocked QR. It also implements the cost
+// reductions of Section III: matrix clustering, wrapping, and cluster
+// recycling.
+package greens
+
+import (
+	"math"
+	"sort"
+
+	"questgo/internal/blas"
+	"questgo/internal/lapack"
+	"questgo/internal/mat"
+)
+
+// UDT is the graded decomposition Q * diag(D) * T of a long matrix product.
+// Q is orthogonal, D carries the (typically enormous) dynamic range sorted
+// in descending magnitude, and T is well conditioned with unit diagonal.
+type UDT struct {
+	Q *mat.Dense
+	D []float64
+	T *mat.Dense
+}
+
+// Matrix multiplies the factors back together (test/diagnostic use only —
+// the whole point of the decomposition is never to form this product in
+// floating point when the grading is extreme).
+func (u *UDT) Matrix() *mat.Dense {
+	n := u.Q.Rows
+	qd := u.Q.Clone()
+	qd.ScaleCols(u.D)
+	out := mat.New(n, n)
+	blas.Gemm(false, false, 1, qd, u.T, 0, out)
+	return out
+}
+
+// scaleInvRows overwrites r with diag(d)^{-1} * r, guarding exact zeros
+// (a structurally singular slice product would produce a zero pivot).
+func scaleInvRows(r *mat.Dense, d []float64) {
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v == 0 {
+			inv[i] = 0
+		} else {
+			inv[i] = 1 / v
+		}
+	}
+	r.ScaleRows(inv)
+}
+
+// permuteColsGather writes dst[:, j] = src[:, perm[j]].
+func permuteColsGather(dst, src *mat.Dense, perm []int) {
+	for j, p := range perm {
+		copy(dst.Col(j), src.Col(p))
+	}
+}
+
+// permuteRowsGather writes dst[j, :] = src[perm[j], :] (this is P^T * src
+// when src*P gathers columns by perm).
+func permuteRowsGather(dst, src *mat.Dense, perm []int) {
+	for j := 0; j < src.Cols; j++ {
+		s := src.Col(j)
+		d := dst.Col(j)
+		for i, p := range perm {
+			d[i] = s[p]
+		}
+	}
+}
+
+// StratifyQRP runs Algorithm 2 on the matrices bs, given in application
+// order (bs[0] is applied first, i.e. the product is
+// bs[len-1] * ... * bs[1] * bs[0]), and returns its UDT decomposition.
+// Every step uses the QR factorization with column pivoting.
+func StratifyQRP(bs []*mat.Dense) *UDT {
+	return stratify(bs, true)
+}
+
+// StratifyPrePivot runs Algorithm 3: the first factorization still pivots
+// (there is no grading to exploit yet), every subsequent step sorts the
+// columns of C_i by descending norm up front and then runs the ordinary
+// blocked QR. This removes the level-2 pivoting bottleneck while the
+// progressive grading keeps the decomposition stable.
+func StratifyPrePivot(bs []*mat.Dense) *UDT {
+	return stratify(bs, false)
+}
+
+func stratify(bs []*mat.Dense, pivotEveryStep bool) *UDT {
+	if len(bs) == 0 {
+		panic("greens: empty matrix chain")
+	}
+	n := bs[0].Rows
+
+	// Step 1-2: B_1 = Q_1 R_1 P_1^T; D_1 = diag(R_1); T_1 = D_1^{-1} R_1 P_1^T.
+	c := bs[0].Clone()
+	qr, jpvt := lapack.QRPFactor(c)
+	d := make([]float64, n)
+	r := qr.R()
+	r.Diagonal(d)
+	scaleInvRows(r, d)
+	t := mat.New(n, n)
+	// T_1 = (D^{-1} R) P^T: column j of D^{-1}R came from original column
+	// jpvt[j], so scatter it back there.
+	for j := 0; j < n; j++ {
+		copy(t.Col(jpvt[j]), r.Col(j))
+	}
+	q := mat.New(n, n)
+	qr.FormQ(q)
+
+	ci := mat.New(n, n)
+	tNew := mat.New(n, n)
+	for i := 1; i < len(bs); i++ {
+		// Step 3a: C_i = (B_i Q_{i-1}) D_{i-1}. The parenthesization is
+		// essential: B_i * Q is a product of well-scaled matrices, and the
+		// graded D enters only as a final column scaling.
+		blas.Gemm(false, false, 1, bs[i], q, 0, ci)
+		ci.ScaleCols(d)
+
+		var perm []int
+		if pivotEveryStep {
+			qr, perm = lapack.QRPFactor(ci)
+		} else {
+			// Algorithm 3 step 3b: pre-pivot by descending column norm.
+			perm = descendingNormPerm(ci)
+			permuteColsGather(tNew, ci, perm) // tNew used as scratch here
+			ci.CopyFrom(tNew)
+			qr = lapack.QRFactor(ci)
+		}
+		r = qr.R()
+		r.Diagonal(d)
+		scaleInvRows(r, d)
+		// Step 3c/3d: T_i = (D_i^{-1} R_i) (P_i^T T_{i-1}).
+		permuteRowsGather(tNew, t, perm)
+		blas.Gemm(false, false, 1, r, tNew, 0, t)
+		qr.FormQ(q)
+	}
+	return &UDT{Q: q, D: d, T: t}
+}
+
+// descendingNormPerm returns the permutation that sorts the columns of c by
+// descending Euclidean norm. The norms are computed in parallel — the paper
+// notes the BLAS-level loop has too little work per column and implements
+// exactly this multicore reduction in OpenMP.
+func descendingNormPerm(c *mat.Dense) []int {
+	norms := lapack.ColumnNorms(c, nil)
+	perm := make([]int, len(norms))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return norms[perm[a]] > norms[perm[b]] })
+	return perm
+}
+
+// GreenFromUDT forms G = (I + Q D T)^{-1} through the stabilized final
+// step of the stratification algorithms. Writing D = D_b^{-1} D_s with
+//
+//	D_b(i) = 1/|D(i)| if |D(i)| > 1, else 1   (inverse "big" part)
+//	D_s(i) = sgn(D(i)) if |D(i)| > 1, else D(i) ("small" part)
+//
+// gives I + Q D T = Q D_b^{-1} (D_b Q^T + D_s T), hence
+//
+//	G = (D_b Q^T + D_s T)^{-1} D_b Q^T,
+//
+// a solve whose matrix mixes only O(1)-sized entries. This is algebraically
+// the paper's step 4 in the form of Bai, Lee, Li and Xu (2010).
+func GreenFromUDT(u *UDT) *mat.Dense {
+	n := u.Q.Rows
+	db := make([]float64, n)
+	ds := make([]float64, n)
+	for i, v := range u.D {
+		if a := math.Abs(v); a > 1 {
+			db[i] = 1 / a
+			ds[i] = math.Copysign(1, v)
+		} else {
+			db[i] = 1
+			ds[i] = v
+		}
+	}
+	// M = D_b Q^T + D_s T, RHS = D_b Q^T.
+	qt := u.Q.Transpose()
+	qt.ScaleRows(db)
+	m := u.T.Clone()
+	m.ScaleRows(ds)
+	m.Add(1, qt)
+	g := qt.Clone()
+	lu, err := lapack.LUFactor(m)
+	if err != nil {
+		// A singular M means the configuration has a genuinely singular
+		// I + B...B; propagate NaNs rather than abort, matching LAPACK
+		// behaviour. (Never observed for physical parameters.)
+		_ = err
+	}
+	lu.Solve(g)
+	return g
+}
+
+// Green evaluates G = (I + bs[last] ... bs[0])^{-1} with Algorithm 3
+// (the production path). Use GreenQRP for the Algorithm 2 reference.
+func Green(bs []*mat.Dense) *mat.Dense { return GreenFromUDT(StratifyPrePivot(bs)) }
+
+// GreenQRP evaluates the same Green's function with Algorithm 2.
+func GreenQRP(bs []*mat.Dense) *mat.Dense { return GreenFromUDT(StratifyQRP(bs)) }
+
+// GreenNaive forms the product and inverts I + P directly, with no
+// stratification. It is the obvious algorithm that loses all accuracy at
+// large beta*U — kept as the contrast case for tests and documentation.
+func GreenNaive(bs []*mat.Dense) *mat.Dense {
+	n := bs[0].Rows
+	p := bs[0].Clone()
+	tmp := mat.New(n, n)
+	for i := 1; i < len(bs); i++ {
+		blas.Gemm(false, false, 1, bs[i], p, 0, tmp)
+		p, tmp = tmp, p
+	}
+	for i := 0; i < n; i++ {
+		p.Set(i, i, p.At(i, i)+1)
+	}
+	g := mat.New(n, n)
+	lu, _ := lapack.LUFactor(p)
+	lu.Invert(g)
+	return g
+}

@@ -1,0 +1,127 @@
+package hubbard
+
+import (
+	"math"
+	"testing"
+
+	"questgo/internal/blas"
+	"questgo/internal/lattice"
+	"questgo/internal/mat"
+)
+
+func TestCheckerboardInverse(t *testing.T) {
+	lat := lattice.NewMultilayer(4, 4, 3, 1, 0.6)
+	cb, err := NewCheckerboard(lat, 0.2, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cb.Materialize()
+	binv := cb.MaterializeInv()
+	prod := mat.New(lat.N(), lat.N())
+	blas.Gemm(false, false, 1, b, binv, 0, prod)
+	if !prod.EqualApprox(mat.Identity(lat.N()), 1e-12) {
+		t.Fatal("checkerboard B * B^{-1} != I")
+	}
+}
+
+func TestCheckerboardApplyMatchesMaterialize(t *testing.T) {
+	lat := lattice.NewSquare(4, 4, 1)
+	cb, err := NewCheckerboard(lat, 0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := cb.Materialize()
+	// Apply to a random matrix and compare with the dense product.
+	a := mat.New(16, 5)
+	for j := 0; j < 5; j++ {
+		col := a.Col(j)
+		for i := range col {
+			col[i] = float64(i*7+j*3%11) / 10
+		}
+	}
+	want := mat.New(16, 5)
+	blas.Gemm(false, false, 1, bm, a, 0, want)
+	cb.ApplyLeft(a)
+	if !a.EqualApprox(want, 1e-12) {
+		t.Fatal("ApplyLeft disagrees with materialized product")
+	}
+}
+
+func TestCheckerboardApproximatesExact(t *testing.T) {
+	// ||B_cb - B_exact|| must shrink as O(dtau^2). Note 4x4 is degenerate
+	// (the even/odd bond groups of a 4-ring happen to commute, making the
+	// splitting exact); 6x6 exposes the generic non-commuting error.
+	lat := lattice.NewSquare(6, 6, 1)
+	var prev float64
+	for i, dtau := range []float64{0.2, 0.1, 0.05} {
+		m, err := NewModel(lat, 0, 0.1, dtau*10, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := NewPropagator(m)
+		cb, err := NewCheckerboard(lat, m.Mu, dtau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := mat.RelDiff(cb.Materialize(), exact.Bkin)
+		if i > 0 {
+			ratio := prev / diff
+			// Quadratic convergence: halving dtau should shrink the error
+			// by ~4 (allow 3 to 6 for the prefactor drift).
+			if ratio < 3 || ratio > 6 {
+				t.Fatalf("checkerboard error not O(dtau^2): ratios %v -> %v (factor %v)", prev, diff, ratio)
+			}
+		}
+		prev = diff
+	}
+}
+
+func TestCheckerboardRejectsOddLattice(t *testing.T) {
+	if _, err := NewCheckerboard(lattice.NewSquare(5, 4, 1), 0, 0.1); err == nil {
+		t.Fatal("odd Nx must be rejected")
+	}
+	if _, err := NewCheckerboard(lattice.NewSquare(4, 3, 1), 0, 0.1); err == nil {
+		t.Fatal("odd Ny must be rejected")
+	}
+}
+
+func TestCheckerboardPropagatorPipeline(t *testing.T) {
+	// The checkerboard-based Propagator must behave like the exact one up
+	// to O(dtau^2): B and B^{-1} inverse pair, and B close to exact B.
+	lat := lattice.NewSquare(6, 6, 1)
+	m, err := NewModel(lat, 4, 0, 1, 20) // dtau = 0.05
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcb, err := NewPropagatorCheckerboard(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pex := NewPropagator(m)
+	prod := mat.New(lat.N(), lat.N())
+	blas.Gemm(false, false, 1, pcb.Bkin, pcb.Binv, 0, prod)
+	if !prod.EqualApprox(mat.Identity(lat.N()), 1e-12) {
+		t.Fatal("checkerboard propagator B*Binv != I")
+	}
+	if d := mat.RelDiff(pcb.Bkin, pex.Bkin); d > 5e-3 {
+		t.Fatalf("checkerboard B too far from exact: %v", d)
+	}
+	if d := mat.RelDiff(pcb.Bkin, pex.Bkin); d == 0 {
+		t.Fatal("checkerboard B identical to exact — splitting not exercised")
+	}
+}
+
+func TestCheckerboardMuFactor(t *testing.T) {
+	// With t = 0 the propagator is exactly exp(dtau*mu)*I.
+	lat := lattice.NewSquare(4, 4, 0)
+	cb, err := NewCheckerboard(lat, 0.7, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cb.Materialize()
+	want := mat.Identity(16)
+	want.Scale(math.Exp(0.25 * 0.7))
+	if !b.EqualApprox(want, 1e-14) {
+		t.Fatal("mu-only checkerboard wrong")
+	}
+}

@@ -1,0 +1,112 @@
+package hubbard
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"questgo/internal/lattice"
+	"questgo/internal/rng"
+)
+
+// Property: VElem and Alpha satisfy the defining flip identity
+// V'(i)/V(i) = 1 + Alpha for every spin and field value, in both models.
+func TestQuickFlipIdentity(t *testing.T) {
+	lat := lattice.NewSquare(2, 2, 1)
+	f := func(uRaw int8, hPos bool, up bool) bool {
+		u := float64(uRaw%8) / 2 // U in (-4, 4)
+		m, err := NewModel(lat, u, 0, 2, 8)
+		if err != nil {
+			return false
+		}
+		p := NewPropagator(m)
+		h := -1.0
+		if hPos {
+			h = 1
+		}
+		sigma := Down
+		if up {
+			sigma = Up
+		}
+		v := p.VElem(sigma, h)
+		vFlipped := p.VElem(sigma, -h)
+		alpha := p.Alpha(sigma, h)
+		return math.Abs(vFlipped/v-(1+alpha)) < 1e-14
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the attractive model's bosonic factor balances the doubled
+// determinant factor in the partition function: for U < 0, flipping twice
+// must return the exact weight, i.e. BosonRatio(h) * BosonRatio(-h) = 1.
+func TestQuickBosonRatioInvolution(t *testing.T) {
+	lat := lattice.NewSquare(2, 2, 1)
+	f := func(uRaw uint8, hPos bool) bool {
+		u := -float64(uRaw%12)/2 - 0.5 // U in [-6.5, -0.5]
+		m, err := NewModel(lat, u, 0, 2, 8)
+		if err != nil {
+			return false
+		}
+		p := NewPropagator(m)
+		h := -1.0
+		if hPos {
+			h = 1
+		}
+		return math.Abs(p.BosonRatio(h)*p.BosonRatio(-h)-1) < 1e-14
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: K matrix row sums equal -(mu + coordination * hoppings) for
+// every site of a periodic plane (translation invariance).
+func TestQuickKMatrixRowSums(t *testing.T) {
+	f := func(nxRaw, nyRaw uint8, muRaw int8) bool {
+		nx := 2 + int(nxRaw%5)
+		ny := 2 + int(nyRaw%5)
+		mu := float64(muRaw) / 32
+		lat := lattice.NewSquare(nx, ny, 1)
+		k := lat.KMatrix(mu)
+		want := -mu - 4*lat.T
+		for i := 0; i < lat.N(); i++ {
+			var sum float64
+			for j := 0; j < lat.N(); j++ {
+				sum += k.At(i, j)
+			}
+			if math.Abs(sum-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: B matrices of opposite spins coincide in the attractive model
+// and differ in the repulsive model (for any field with at least one
+// nonuniform slice this must show in the row scalings).
+func TestAttractiveSpinsDegenerate(t *testing.T) {
+	lat := lattice.NewSquare(2, 2, 1)
+	for _, u := range []float64{4, -4} {
+		m, err := NewModel(lat, u, 0, 2, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewPropagator(m)
+		f := NewRandomField(8, 4, rng.New(9))
+		bUp := p.BMatrix(Up, f, 0)
+		bDn := p.BMatrix(Down, f, 0)
+		same := bUp.EqualApprox(bDn, 0)
+		if u < 0 && !same {
+			t.Fatal("attractive model must have identical spin propagators")
+		}
+		if u > 0 && same {
+			t.Fatal("repulsive model must have distinct spin propagators")
+		}
+	}
+}

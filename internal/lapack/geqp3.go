@@ -1,0 +1,109 @@
+package lapack
+
+import (
+	"math"
+
+	"questgo/internal/blas"
+	"questgo/internal/mat"
+	"questgo/internal/parallel"
+)
+
+// QRPFactor computes the QR factorization with column pivoting
+// A*P = Q*R, overwriting a with the DGEQRF-style layout and returning the
+// permutation: jpvt[j] is the original index of the column that ends up in
+// position j (so P in A*P = QR gathers columns in jpvt order).
+//
+// The implementation follows DGEQPF/DGEQP3: at each step the remaining
+// column of largest partial norm is swapped in, one Householder reflector is
+// generated, and the trailing matrix is updated with a matrix-vector product
+// and a rank-1 update. Column norms are downdated with the usual
+// cancellation safeguard and recomputed when unreliable.
+//
+// This routine is intentionally level-2 bound — pivot selection needs the
+// updated norms of every remaining column before the next reflector can be
+// chosen, which is exactly the serialization the paper's pre-pivoting
+// variant removes.
+func QRPFactor(a *mat.Dense) (*QR, []int) {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	tau := make([]float64, k)
+	jpvt := make([]int, n)
+	norms := make([]float64, n)          // partial (trailing) column norms
+	onorms := make([]float64, n)         // reference norms for the safeguard
+	work := make([]float64, n)           // gemv workspace
+	const tol3z = 1.4901161193847656e-08 // sqrt(machine epsilon)
+
+	parallel.For(n, 16, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			jpvt[j] = j
+			norms[j] = blas.Nrm2(a.Col(j))
+			onorms[j] = norms[j]
+		}
+	})
+
+	for i := 0; i < k; i++ {
+		// Pivot: remaining column with the largest partial norm.
+		p := i
+		for j := i + 1; j < n; j++ {
+			if norms[j] > norms[p] {
+				p = j
+			}
+		}
+		if p != i {
+			blas.Swap(a.Col(p), a.Col(i))
+			jpvt[p], jpvt[i] = jpvt[i], jpvt[p]
+			norms[p] = norms[i]
+			onorms[p] = onorms[i]
+		}
+		col := a.Col(i)
+		beta, t := larfg(col[i], col[i+1:])
+		tau[i] = t
+		if i+1 < n && t != 0 {
+			save := col[i]
+			col[i] = 1
+			trail := a.View(i, i+1, m-i, n-i-1)
+			larf(col[i:], t, trail, work)
+			col[i] = save
+		}
+		col[i] = beta
+		// Downdate the partial norms of the trailing columns.
+		for j := i + 1; j < n; j++ {
+			if norms[j] == 0 {
+				continue
+			}
+			r := math.Abs(a.At(i, j)) / norms[j]
+			temp := 1 - r*r
+			if temp < 0 {
+				temp = 0
+			}
+			temp2 := temp * (norms[j] / onorms[j]) * (norms[j] / onorms[j])
+			if temp2 <= tol3z {
+				// Cancellation: recompute from scratch.
+				if i+1 < m {
+					norms[j] = blas.Nrm2(a.Col(j)[i+1:])
+				} else {
+					norms[j] = 0
+				}
+				onorms[j] = norms[j]
+			} else {
+				norms[j] *= math.Sqrt(temp)
+			}
+		}
+	}
+	return &QR{A: a, Tau: tau}, jpvt
+}
+
+// ColumnNorms computes the Euclidean norm of every column of a in parallel.
+// This is the pre-pivoting step of the paper's Algorithm 3: the permutation
+// that sorts these norms in descending order replaces per-step pivoting.
+func ColumnNorms(a *mat.Dense, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, a.Cols)
+	}
+	parallel.For(a.Cols, 8, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[j] = blas.Nrm2(a.Col(j))
+		}
+	})
+	return dst
+}

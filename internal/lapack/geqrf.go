@@ -1,0 +1,152 @@
+package lapack
+
+import (
+	"questgo/internal/mat"
+)
+
+// qrBlock is the panel width of the blocked QR. 32 balances the level-2
+// panel cost against the level-3 trailing update for DQMC matrix sizes
+// (a few hundred to ~1024).
+const qrBlock = 32
+
+// QR holds a Householder QR factorization computed in place: R occupies the
+// upper triangle of A and the reflector vectors V the strict lower
+// trapezoid, with scalar factors in Tau (LAPACK DGEQRF layout).
+type QR struct {
+	A   *mat.Dense
+	Tau []float64
+}
+
+// QRFactor computes the blocked Householder QR factorization of a,
+// overwriting it. This mirrors DGEQRF: unblocked panel factorization,
+// block reflector T formation, and a GEMM-rich trailing update — the
+// "mostly level 3" routine of the paper's Figure 1.
+func QRFactor(a *mat.Dense) *QR {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	tau := make([]float64, k)
+	work := make([]float64, n)
+	t := mat.New(qrBlock, qrBlock)
+	v := mat.New(m, qrBlock)
+	wrk := mat.New(2*qrBlock, n)
+	for j := 0; j < k; j += qrBlock {
+		jb := min(qrBlock, k-j)
+		panel := a.View(j, j, m-j, jb)
+		geqr2(panel, tau[j:j+jb], work)
+		if j+jb < n {
+			// Copy the panel reflectors with explicit unit diagonal.
+			vv := v.View(0, 0, m-j, jb)
+			copyReflectors(panel, vv)
+			tt := t.View(0, 0, jb, jb)
+			larft(vv, tau[j:j+jb], tt)
+			trail := a.View(j, j+jb, m-j, n-j-jb)
+			larfb(vv, tt, true, trail, wrk)
+		}
+	}
+	return &QR{A: a, Tau: tau}
+}
+
+// geqr2 is the unblocked Householder QR of a panel (DGEQR2).
+func geqr2(a *mat.Dense, tau []float64, work []float64) {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	for i := 0; i < k; i++ {
+		col := a.Col(i)
+		beta, t := larfg(col[i], col[i+1:])
+		tau[i] = t
+		if i+1 < n && t != 0 {
+			// Apply H_i to the trailing columns. Temporarily set the unit
+			// element so the reflector vector is contiguous.
+			save := col[i]
+			col[i] = 1
+			trail := a.View(i, i+1, m-i, n-i-1)
+			larf(col[i:], t, trail, work)
+			col[i] = save
+		}
+		col[i] = beta
+	}
+}
+
+// copyReflectors copies the unit lower trapezoid of the factored panel into
+// dst, zeroing the upper triangle and setting the unit diagonal.
+func copyReflectors(panel, dst *mat.Dense) {
+	m, jb := panel.Rows, panel.Cols
+	for c := 0; c < jb; c++ {
+		dcol := dst.Col(c)
+		pcol := panel.Col(c)
+		for r := 0; r < c && r < m; r++ {
+			dcol[r] = 0
+		}
+		if c < m {
+			dcol[c] = 1
+		}
+		for r := c + 1; r < m; r++ {
+			dcol[r] = pcol[r]
+		}
+	}
+}
+
+// R extracts the upper triangular factor into a new k x n matrix,
+// k = min(m, n).
+func (qr *QR) R() *mat.Dense {
+	m, n := qr.A.Rows, qr.A.Cols
+	k := min(m, n)
+	r := mat.New(k, n)
+	for j := 0; j < n; j++ {
+		src := qr.A.Col(j)
+		dst := r.Col(j)
+		top := min(j+1, k)
+		copy(dst[:top], src[:top])
+	}
+	return r
+}
+
+// MulQ applies Q (trans=false) or Q^T (trans=true) from the left to c in
+// place, using the block reflectors (DORMQR, side = left).
+func (qr *QR) MulQ(trans bool, c *mat.Dense) {
+	m := qr.A.Rows
+	if c.Rows != m {
+		panic("lapack: MulQ dimension mismatch")
+	}
+	k := len(qr.Tau)
+	v := mat.New(m, qrBlock)
+	t := mat.New(qrBlock, qrBlock)
+	wrk := mat.New(2*qrBlock, c.Cols)
+	apply := func(j, jb int) {
+		vv := v.View(0, 0, m-j, jb)
+		copyReflectors(qr.A.View(j, j, m-j, jb), vv)
+		tt := t.View(0, 0, jb, jb)
+		larft(vv, qr.Tau[j:j+jb], tt)
+		sub := c.View(j, 0, m-j, c.Cols)
+		larfb(vv, tt, trans, sub, wrk)
+	}
+	if trans {
+		// Q^T = H_k^T ... H_1^T: blocks in forward order.
+		for j := 0; j < k; j += qrBlock {
+			apply(j, min(qrBlock, k-j))
+		}
+		return
+	}
+	// Q = H_1 ... H_k: blocks in reverse order.
+	first := ((k - 1) / qrBlock) * qrBlock
+	for j := first; j >= 0; j -= qrBlock {
+		apply(j, min(qrBlock, k-j))
+	}
+}
+
+// FormQ writes the explicit m x m orthogonal factor into q.
+func (qr *QR) FormQ(q *mat.Dense) {
+	m := qr.A.Rows
+	if q.Rows != m || q.Cols != m {
+		panic("lapack: FormQ expects an m x m destination")
+	}
+	q.SetIdentity()
+	qr.MulQ(false, q)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+// Package lapack provides the dense factorizations used by the DQMC
+// Green's function kernels: blocked Householder QR (the DGEQRF of the
+// paper's Figure 1), column-pivoted QR (DGEQP3), LU with partial pivoting
+// (the final solve of the stratification), and a symmetric eigensolver
+// (used once per simulation to form B = exp(-dtau*K) and its inverse).
+package lapack
+
+import (
+	"math"
+
+	"questgo/internal/blas"
+	"questgo/internal/mat"
+)
+
+// larfg generates an elementary Householder reflector H = I - tau*v*v^T
+// such that H * [alpha; x] = [beta; 0], with v = [1; x/(alpha-beta)] stored
+// back into x. It returns (beta, tau). This is LAPACK's DLARFG with the
+// usual rescaling for very small vectors.
+func larfg(alpha float64, x []float64) (beta, tau float64) {
+	xnorm := blas.Nrm2(x)
+	if xnorm == 0 {
+		return alpha, 0
+	}
+	beta = -math.Copysign(math.Hypot(alpha, xnorm), alpha)
+	// Rescale if beta is dangerously small.
+	const safmin = 2.0041683600089728e-292 // ~ dlamch('S')/dlamch('E')
+	var scale float64 = 1
+	cnt := 0
+	for math.Abs(beta) < safmin && cnt < 20 {
+		blas.Scal(1/safmin, x)
+		beta /= safmin
+		alpha /= safmin
+		scale *= safmin
+		xnorm = blas.Nrm2(x)
+		beta = -math.Copysign(math.Hypot(alpha, xnorm), alpha)
+		cnt++
+	}
+	tau = (beta - alpha) / beta
+	blas.Scal(1/(alpha-beta), x)
+	beta *= scale
+	return beta, tau
+}
+
+// larf applies the reflector H = I - tau*v*v^T from the left to C, using
+// work of length >= C.Cols. v has implicit leading 1 at v[0].
+func larf(v []float64, tau float64, c *mat.Dense, work []float64) {
+	if tau == 0 {
+		return
+	}
+	m, n := c.Rows, c.Cols
+	if len(v) != m {
+		panic("lapack: larf dimension mismatch")
+	}
+	w := work[:n]
+	// w = C^T v
+	for j := 0; j < n; j++ {
+		w[j] = blas.Dot(c.Col(j), v)
+	}
+	// C -= tau * v * w^T
+	for j := 0; j < n; j++ {
+		blas.Axpy(-tau*w[j], v, c.Col(j))
+	}
+}
+
+// larft forms the upper triangular factor T of the block reflector
+// H = H_1 H_2 ... H_k = I - V*T*V^T ("forward, columnwise" storage).
+// V is m x k with the reflectors below the unit diagonal; tau holds the
+// scalar factors.
+func larft(v *mat.Dense, tau []float64, t *mat.Dense) {
+	k := v.Cols
+	m := v.Rows
+	for i := 0; i < k; i++ {
+		if tau[i] == 0 {
+			for j := 0; j <= i; j++ {
+				t.Set(j, i, 0)
+			}
+			continue
+		}
+		// t[0:i, i] = -tau[i] * V[:, 0:i]^T * v_i  (v_i has unit at row i)
+		vi := v.Col(i)
+		for j := 0; j < i; j++ {
+			vj := v.Col(j)
+			// v_j is zero above row j and unit at row j; v_i is zero above
+			// row i and unit at row i. Their overlap starts at row i.
+			s := vj[i] // v_j[i] * v_i[i] with v_i[i] = 1
+			for r := i + 1; r < m; r++ {
+				s += vj[r] * vi[r]
+			}
+			t.Set(j, i, -tau[i]*s)
+		}
+		// t[0:i, i] = T[0:i, 0:i] * t[0:i, i]. T is upper triangular, so
+		// row j of the product only reads entries r >= j; overwriting in
+		// increasing j is safe in place.
+		for j := 0; j < i; j++ {
+			s := 0.0
+			for r := j; r < i; r++ {
+				s += t.At(j, r) * t.At(r, i)
+			}
+			t.Set(j, i, s)
+		}
+		t.Set(i, i, tau[i])
+	}
+}
+
+// larfb applies the block reflector defined by (V, T) to C from the left:
+//
+//	trans=false: C = (I - V T V^T) C   (apply H)
+//	trans=true:  C = (I - V T^T V^T) C (apply H^T)
+//
+// V is m x k (unit lower trapezoidal), C is m x n.
+// work must provide at least 2k rows and n columns of scratch.
+func larfb(v *mat.Dense, t *mat.Dense, trans bool, c *mat.Dense, work *mat.Dense) {
+	k := v.Cols
+	n := c.Cols
+	w := work.View(0, 0, k, n)
+	w2 := work.View(k, 0, k, n)
+	// W = V^T C
+	blas.Gemm(true, false, 1, v, c, 0, w)
+	// W2 = op(T) W, with T upper triangular (treated densely; k is small).
+	blas.Gemm(trans, false, 1, t, w, 0, w2)
+	// C -= V W2
+	blas.Gemm(false, false, -1, v, w2, 1, c)
+}

@@ -1,0 +1,43 @@
+package lapack
+
+import "questgo/internal/mat"
+
+// This file exposes the panel-level building blocks of the blocked QR so a
+// hybrid (CPU panel + accelerator trailing-update) factorization can be
+// assembled outside the package — the MAGMA-style split the paper names as
+// future work for running Algorithm 3 on the GPU.
+
+// Panel is one factored Householder panel: the explicit unit-lower
+// trapezoidal reflector block V (m x jb), the upper triangular T of the
+// compact WY representation (jb x jb), the scalar factors Tau, and the
+// panel's R rows (jb x jb upper triangle, stored in place of the input).
+type Panel struct {
+	V   *mat.Dense
+	T   *mat.Dense
+	Tau []float64
+}
+
+// FactorPanel runs the unblocked Householder QR on the panel (overwriting
+// it with R above the diagonal and the reflectors below) and returns the
+// explicit V and T factors needed to apply the block reflector elsewhere.
+func FactorPanel(panel *mat.Dense) *Panel {
+	m, jb := panel.Rows, panel.Cols
+	tau := make([]float64, min(m, jb))
+	work := make([]float64, jb)
+	geqr2(panel, tau, work)
+	v := mat.New(m, jb)
+	copyReflectors(panel, v)
+	t := mat.New(jb, jb)
+	larft(v, tau, t)
+	return &Panel{V: v, T: t, Tau: tau}
+}
+
+// ApplyBlockReflector applies the panel's block reflector to C from the
+// left: C <- (I - V T V^T) C when trans is false, or with T^T when trans
+// is true. It is exactly the update the blocked QR performs on its
+// trailing matrix; callers that own an accelerator can instead run the
+// same three products (W = V^T C; W' = op(T) W; C -= V W') on the device.
+func (p *Panel) ApplyBlockReflector(trans bool, c *mat.Dense) {
+	work := mat.New(2*p.V.Cols, c.Cols)
+	larfb(p.V, p.T, trans, c, work)
+}

@@ -1,0 +1,86 @@
+package lapack
+
+import (
+	"testing"
+
+	"questgo/internal/mat"
+	"questgo/internal/rng"
+)
+
+func TestFactorPanelReconstructs(t *testing.T) {
+	r := rng.New(31)
+	m, jb := 40, 8
+	a := randomDense(r, m, jb)
+	orig := a.Clone()
+	p := FactorPanel(a)
+	// Q R = A with Q = I - V T V^T applied to [R; 0].
+	rec := mat.New(m, jb)
+	for j := 0; j < jb; j++ {
+		copy(rec.Col(j)[:j+1], a.Col(j)[:j+1])
+	}
+	// Apply H = I - V T V^T (not transposed) to reconstruct.
+	p.ApplyBlockReflector(false, rec)
+	if d := mat.RelDiff(rec, orig); d > 1e-12 {
+		t.Fatalf("panel reconstruction failed: %g", d)
+	}
+}
+
+func TestApplyBlockReflectorInverse(t *testing.T) {
+	r := rng.New(33)
+	m, jb := 30, 6
+	a := randomDense(r, m, jb)
+	p := FactorPanel(a)
+	c := randomDense(r, m, 5)
+	orig := c.Clone()
+	p.ApplyBlockReflector(false, c)
+	p.ApplyBlockReflector(true, c)
+	if d := mat.RelDiff(c, orig); d > 1e-12 {
+		t.Fatalf("H H^T C != C: %g", d)
+	}
+}
+
+func TestFactorPanelMatchesBlockedQR(t *testing.T) {
+	// A single-panel matrix factored by FactorPanel and QRFactor must give
+	// the same R.
+	r := rng.New(35)
+	m, jb := 25, 8
+	a := randomDense(r, m, jb)
+	a2 := a.Clone()
+	FactorPanel(a)
+	qr := QRFactor(a2)
+	rr := qr.R()
+	for j := 0; j < jb; j++ {
+		for i := 0; i <= j; i++ {
+			if diff := a.At(i, j) - rr.At(i, j); diff > 1e-13 || diff < -1e-13 {
+				t.Fatalf("R(%d,%d) mismatch: %v vs %v", i, j, a.At(i, j), rr.At(i, j))
+			}
+		}
+	}
+}
+
+func TestPanelVUnitLowerTrapezoid(t *testing.T) {
+	r := rng.New(37)
+	a := randomDense(r, 12, 4)
+	p := FactorPanel(a)
+	for j := 0; j < 4; j++ {
+		for i := 0; i < j; i++ {
+			if p.V.At(i, j) != 0 {
+				t.Fatal("V not zero above diagonal")
+			}
+		}
+		if p.V.At(j, j) != 1 {
+			t.Fatal("V diagonal not unit")
+		}
+	}
+	// T upper triangular with tau on the diagonal.
+	for j := 0; j < 4; j++ {
+		if p.T.At(j, j) != p.Tau[j] {
+			t.Fatal("T diagonal != tau")
+		}
+		for i := j + 1; i < 4; i++ {
+			if p.T.At(i, j) != 0 {
+				t.Fatal("T not upper triangular")
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"questgo/internal/lattice"
+	"questgo/internal/mat"
+)
+
+// naiveDWave recomputes the d-wave correlation with an independent
+// quadruple loop for cross-checking.
+func naiveDWave(lat *lattice.Lattice, gup, gdn *mat.Dense) []float64 {
+	nx, ny := lat.Nx, lat.Ny
+	planeN := nx * ny
+	n := lat.N()
+	out := make([]float64, planeN)
+	offsets := [][3]float64{{1, 0, 1}, {-1, 0, 1}, {0, 1, -1}, {0, -1, -1}}
+	for b := 0; b < n; b++ {
+		xb, yb, zb := lat.Coords(b)
+		for a := zb * planeN; a < (zb+1)*planeN; a++ {
+			xa, ya, _ := lat.Coords(a)
+			d := ((xa-xb)%nx+nx)%nx + nx*(((ya-yb)%ny+ny)%ny)
+			var sum float64
+			for _, da := range offsets {
+				for _, db := range offsets {
+					ad := lat.Index(xa+int(da[0]), ya+int(da[1]), zb)
+					bd := lat.Index(xb+int(db[0]), yb+int(db[1]), zb)
+					sum += da[2] * db[2] * gup.At(a, b) * gdn.At(ad, bd)
+				}
+			}
+			out[d] += 0.25 * sum / float64(n)
+		}
+	}
+	return out
+}
+
+func TestDWaveMatchesNaive(t *testing.T) {
+	lat := lattice.NewSquare(4, 4, 1)
+	g := freeGreens(lat, 0.2, 2)
+	got := MeasureDWave(lat, g, g)
+	want := naiveDWave(lat, g, g)
+	for d := range want {
+		if math.Abs(got.Pd[d]-want[d]) > 1e-13 {
+			t.Fatalf("P_d(%d) = %v want %v", d, got.Pd[d], want[d])
+		}
+	}
+}
+
+func TestDWaveInversionSymmetry(t *testing.T) {
+	lat := lattice.NewSquare(4, 4, 1)
+	g := freeGreens(lat, 0, 3)
+	w := MeasureDWave(lat, g, g)
+	nx := lat.Nx
+	for dy := 0; dy < nx; dy++ {
+		for dx := 0; dx < nx; dx++ {
+			a := w.Pd[dx+nx*dy]
+			b := w.Pd[((nx-dx)%nx)+nx*((nx-dy)%nx)]
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("P_d not inversion symmetric at (%d,%d)", dx, dy)
+			}
+		}
+	}
+}
+
+func TestDWaveOnSitePositive(t *testing.T) {
+	// P_d(0) = <|Delta_d|^2>-like and must be positive for a physical G.
+	lat := lattice.NewSquare(6, 6, 1)
+	g := freeGreens(lat, 0, 3)
+	w := MeasureDWave(lat, g, g)
+	if w.Pd[0] <= 0 {
+		t.Fatalf("P_d(0) = %v, expected positive", w.Pd[0])
+	}
+	if w.Q0() <= 0 {
+		t.Fatalf("Q0 = %v, expected positive", w.Q0())
+	}
+}
+
+func TestDWaveRejectsThinLattice(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Ny = 1")
+		}
+	}()
+	lat := lattice.NewSquare(4, 1, 1)
+	g := freeGreens(lat, 0, 1)
+	MeasureDWave(lat, g, g)
+}

@@ -1,0 +1,119 @@
+// Package profile accumulates wall-clock time per DQMC phase, reproducing
+// the breakdown of the paper's Table I (delayed update, stratification,
+// clustering, wrapping, physical measurements).
+package profile
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Category labels one row of Table I.
+type Category int
+
+const (
+	DelayedUpdate Category = iota
+	Stratification
+	Clustering
+	Wrapping
+	Measurement
+	NumCategories
+)
+
+// Name returns the paper's row label for the category.
+func (c Category) Name() string {
+	switch c {
+	case DelayedUpdate:
+		return "Delayed rank-1 update"
+	case Stratification:
+		return "Stratification"
+	case Clustering:
+		return "Clustering"
+	case Wrapping:
+		return "Wrapping"
+	case Measurement:
+		return "Physical meas."
+	}
+	return "unknown"
+}
+
+// Profile accumulates durations. Safe for concurrent use.
+type Profile struct {
+	mu sync.Mutex
+	d  [NumCategories]time.Duration
+}
+
+// New returns an empty profile.
+func New() *Profile { return &Profile{} }
+
+// Add accumulates d into category c. A nil profile is a no-op, so timing
+// can be disabled by simply not providing one.
+func (p *Profile) Add(c Category, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.d[c] += d
+	p.mu.Unlock()
+}
+
+// Track starts a timer for category c and returns a function that stops it;
+// use as `defer p.Track(profile.Wrapping)()`.
+func (p *Profile) Track(c Category) func() {
+	if p == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { p.Add(c, time.Since(start)) }
+}
+
+// Duration returns the accumulated time for category c.
+func (p *Profile) Duration(c Category) time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.d[c]
+}
+
+// Total returns the sum over all categories.
+func (p *Profile) Total() time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var t time.Duration
+	for _, v := range p.d {
+		t += v
+	}
+	return t
+}
+
+// Percentages returns each category's share of the total, in percent.
+func (p *Profile) Percentages() [NumCategories]float64 {
+	var out [NumCategories]float64
+	total := p.Total()
+	if total == 0 {
+		return out
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, v := range p.d {
+		out[i] = 100 * float64(v) / float64(total)
+	}
+	return out
+}
+
+// Table renders the Table-I-style breakdown.
+func (p *Profile) Table() string {
+	pc := p.Percentages()
+	var sb strings.Builder
+	for c := Category(0); c < NumCategories; c++ {
+		fmt.Fprintf(&sb, "%-24s %6.1f%%  (%v)\n", c.Name(), pc[c], p.Duration(c).Round(time.Millisecond))
+	}
+	return sb.String()
+}

@@ -1,0 +1,135 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a, b := NewStream(7, 0), NewStream(7, 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("streams overlap: %d identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	var s float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		s += r.Float64()
+	}
+	mean := s / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("mean = %v, not ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Intn(7) value %d seen %d times (expect ~10000)", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPlusMinus(t *testing.T) {
+	r := New(6)
+	plus := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.PlusMinus()
+		if v != 1 && v != -1 {
+			t.Fatalf("PlusMinus = %v", v)
+		}
+		if v == 1 {
+			plus++
+		}
+	}
+	if plus < 49000 || plus > 51000 {
+		t.Fatalf("PlusMinus bias: %d/%d", plus, n)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(7)
+	var s, s2 float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		s += v
+		s2 += v * v
+	}
+	mean, varr := s/n, s2/n-(s/n)*(s/n)
+	if math.Abs(mean) > 0.01 || math.Abs(varr-1) > 0.02 {
+		t.Fatalf("normal moments off: mean=%v var=%v", mean, varr)
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint32, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := New(uint64(seed))
+		v := r.Intn(int(n))
+		return v >= 0 && v < int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

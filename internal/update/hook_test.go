@@ -1,0 +1,64 @@
+package update
+
+import (
+	"testing"
+
+	"questgo/internal/mat"
+	"questgo/internal/rng"
+)
+
+func TestBoundaryHookFiresPerCluster(t *testing.T) {
+	p, f := setup(t, 3, 3, 4, 2, 8, 41)
+	sw := NewSweeper(p, f, rng.New(2), Options{ClusterK: 4})
+	calls := 0
+	sw.SetBoundaryHook(func() { calls++ })
+	sw.Sweep()
+	if calls != 2 { // L/k = 8/4 boundaries per sweep
+		t.Fatalf("hook fired %d times, want 2", calls)
+	}
+	sw.SetBoundaryHook(nil)
+	sw.Sweep()
+	if calls != 2 {
+		t.Fatal("nil hook must disable callbacks")
+	}
+}
+
+func TestBoundaryHookSeesFreshGreens(t *testing.T) {
+	p, f := setup(t, 3, 3, 4, 2, 8, 43)
+	sw := NewSweeper(p, f, rng.New(3), Options{ClusterK: 4})
+	var snapshots []*mat.Dense
+	sw.SetBoundaryHook(func() {
+		snapshots = append(snapshots, sw.GreenUp().Clone())
+	})
+	sw.Sweep()
+	if len(snapshots) != 2 {
+		t.Fatalf("snapshots: %d", len(snapshots))
+	}
+	// Boundary Green's functions at different imaginary times must differ.
+	if d := mat.RelDiff(snapshots[0], snapshots[1]); d < 1e-10 {
+		t.Fatalf("boundary G's suspiciously identical: %g", d)
+	}
+	// The last snapshot is the end-of-sweep G.
+	if d := mat.RelDiff(snapshots[1], sw.GreenUp()); d > 1e-14 {
+		t.Fatalf("final boundary snapshot != end-of-sweep G: %g", d)
+	}
+}
+
+func TestBoundaryHookDoesNotChangeTrajectory(t *testing.T) {
+	p, f1 := setup(t, 3, 3, 4, 2, 8, 47)
+	f2 := f1.Clone()
+	sw1 := NewSweeper(p, f1, rng.New(9), Options{ClusterK: 4})
+	sw2 := NewSweeper(p, f2, rng.New(9), Options{ClusterK: 4})
+	sw2.SetBoundaryHook(func() {}) // observer only
+	for i := 0; i < 3; i++ {
+		sw1.Sweep()
+		sw2.Sweep()
+	}
+	for l := 0; l < f1.L; l++ {
+		for i := 0; i < f1.N; i++ {
+			if f1.H[l][i] != f2.H[l][i] {
+				t.Fatal("hook perturbed the Markov chain")
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package update implements the Metropolis sweep of the DQMC algorithm
+// (Algorithm 1 of the paper): single HS-field flips accepted with the
+// determinant ratio computed from the equal-time Green's function, with the
+// rank-1 updates *delayed* into blocked rank-nd updates so the O(N^3) of
+// update work per slice runs at GEMM speed instead of GER speed.
+package update
+
+import (
+	"questgo/internal/blas"
+	"questgo/internal/greens"
+	"questgo/internal/hubbard"
+	"questgo/internal/mat"
+	"questgo/internal/profile"
+	"questgo/internal/rng"
+)
+
+// spinState carries the per-spin Green's function and the delayed-update
+// buffers: the effective Green's function during a slice is
+// G_eff(i,j) = G(i,j) + sum_t U(i,t)*W(j,t) with t < m pending updates.
+type spinState struct {
+	sigma hubbard.Spin
+	g     *mat.Dense
+	u, w  *mat.Dense // N x nd accumulators
+	m     int        // pending update count
+	col   []float64  // scratch: effective column i
+	row   []float64  // scratch: effective row i
+}
+
+func newSpinState(sigma hubbard.Spin, n, nd int) *spinState {
+	return &spinState{
+		sigma: sigma,
+		g:     mat.New(n, n),
+		u:     mat.New(n, nd),
+		w:     mat.New(n, nd),
+		col:   make([]float64, n),
+		row:   make([]float64, n),
+	}
+}
+
+// effDiag returns G_eff(i,i).
+func (s *spinState) effDiag(i int) float64 {
+	gii := s.g.At(i, i)
+	for t := 0; t < s.m; t++ {
+		gii += s.u.At(i, t) * s.w.At(i, t)
+	}
+	return gii
+}
+
+// effColRow fills s.col with G_eff(:, i) and s.row with G_eff(i, :).
+func (s *spinState) effColRow(i int) {
+	n := s.g.Rows
+	copy(s.col, s.g.Col(i))
+	for r := 0; r < n; r++ {
+		s.row[r] = s.g.At(i, r)
+	}
+	for t := 0; t < s.m; t++ {
+		ut := s.u.Col(t)
+		wt := s.w.Col(t)
+		wi := wt[i]
+		ui := ut[i]
+		for r := 0; r < n; r++ {
+			s.col[r] += ut[r] * wi
+			s.row[r] += wt[r] * ui
+		}
+	}
+}
+
+// push appends the accepted flip at site i with amplitude factor = alpha/d.
+// With our wrapping convention the updated slice's B_l sits *leftmost* in
+// the cyclic product, M' = (I + alpha*e_i*e_i^T*(I-G)) * M, so
+//
+//	G' = G - (alpha/d) * (G e_i) * (e_i - G^T e_i)^T.
+//
+// (The paper's Section II-B prints the transposed variant, which belongs to
+// the convention where the flipped slice is rightmost; the determinant
+// ratio d = 1 + alpha*(1 - G_ii) is identical in both.) effColRow must have
+// been called for this i first.
+func (s *spinState) push(i int, factor float64) {
+	uc := s.u.Col(s.m)
+	wc := s.w.Col(s.m)
+	for r := range uc {
+		uc[r] = -factor * s.col[r]
+		wc[r] = -s.row[r]
+	}
+	wc[i] += 1
+	s.m++
+}
+
+// flush applies the pending block update G += U * W^T and resets the count.
+func (s *spinState) flush() {
+	if s.m == 0 {
+		return
+	}
+	uv := s.u.View(0, 0, s.u.Rows, s.m)
+	wv := s.w.View(0, 0, s.w.Rows, s.m)
+	blas.Gemm(false, true, 1, uv, wv, 1, s.g)
+	s.m = 0
+}
+
+// Options configures a Sweeper.
+type Options struct {
+	// ClusterK is the matrix clustering size k, which also sets the
+	// wrapping count between stratified recomputations (the paper uses
+	// k = l = 10). Must divide the slice count L.
+	ClusterK int
+	// Delay is the delayed-update block size nd (32 by default).
+	Delay int
+	// PrePivot selects Algorithm 3 (true, the paper's method) or the
+	// Algorithm 2 QRP reference (false) for stratified recomputations.
+	PrePivot bool
+	// Prof, when non-nil, accumulates the Table-I phase timings.
+	Prof *profile.Profile
+}
+
+// Sweeper runs Metropolis sweeps over the HS field, maintaining the
+// equal-time Green's functions for both spins with wrapping, delayed
+// updates, cluster recycling and periodic stratified recomputation.
+type Sweeper struct {
+	Prop  *hubbard.Propagator
+	Field *hubbard.Field
+	Rng   *rng.Rand
+
+	opts     Options
+	up, dn   *spinState
+	csUp     *greens.ClusterSet
+	csDn     *greens.ClusterSet
+	wrapper  *greens.Wrapper
+	sign     float64
+	accepted int64
+	proposed int64
+	// boundaryHook, when set, runs after every stratified refresh (i.e. at
+	// every cluster boundary) with the Green's functions freshly
+	// recomputed — the natural place for equal-time measurements, which
+	// QUEST takes on multiple slices per sweep to reduce variance.
+	boundaryHook func()
+	// maxWrapDrift records the largest relative difference between the
+	// wrapped Green's function and its stratified recomputation — the
+	// numerical-accuracy diagnostic that motivates the wrapping limit.
+	maxWrapDrift float64
+}
+
+// NewSweeper prepares a sweeper and computes the initial Green's functions
+// by full stratification.
+func NewSweeper(p *hubbard.Propagator, f *hubbard.Field, r *rng.Rand, opts Options) *Sweeper {
+	if opts.ClusterK < 1 {
+		opts.ClusterK = 10
+	}
+	for p.Model.L%opts.ClusterK != 0 {
+		opts.ClusterK--
+	}
+	if opts.Delay < 1 {
+		opts.Delay = 32
+	}
+	n := p.Model.N()
+	if opts.Delay > n {
+		opts.Delay = n
+	}
+	sw := &Sweeper{
+		Prop:  p,
+		Field: f,
+		Rng:   r,
+		opts:  opts,
+		up:    newSpinState(hubbard.Up, n, opts.Delay),
+		dn:    newSpinState(hubbard.Down, n, opts.Delay),
+		sign:  1,
+	}
+	done := opts.Prof.Track(profile.Clustering)
+	sw.csUp = greens.NewClusterSet(p, f, hubbard.Up, opts.ClusterK)
+	sw.csDn = greens.NewClusterSet(p, f, hubbard.Down, opts.ClusterK)
+	done()
+	sw.wrapper = greens.NewWrapper(p)
+	sw.refresh(0)
+	return sw
+}
+
+// refresh recomputes both Green's functions by stratification at cluster
+// boundary c and records the drift of the wrapped copies.
+func (sw *Sweeper) refresh(c int) {
+	defer sw.opts.Prof.Track(profile.Stratification)()
+	gUp := sw.csUp.GreenAt(c, sw.opts.PrePivot)
+	gDn := sw.csDn.GreenAt(c, sw.opts.PrePivot)
+	if sw.up.g != nil && sw.proposed > 0 {
+		if d := mat.RelDiff(sw.up.g, gUp); d > sw.maxWrapDrift {
+			sw.maxWrapDrift = d
+		}
+	}
+	sw.up.g.CopyFrom(gUp)
+	sw.dn.g.CopyFrom(gDn)
+}
+
+// SetBoundaryHook registers h to run after every stratified refresh, when
+// GreenUp/GreenDn hold freshly recomputed Green's functions. Pass nil to
+// disable. Used for per-boundary equal-time measurements.
+func (sw *Sweeper) SetBoundaryHook(h func()) { sw.boundaryHook = h }
+
+// Sweep performs one full sweep: every (slice, site) pair is visited once
+// and a flip is proposed (Algorithm 1). On return the Green's functions
+// correspond to the full chain (cluster boundary 0), ready for equal-time
+// measurements.
+func (sw *Sweeper) Sweep() {
+	model := sw.Prop.Model
+	n := model.N()
+	k := sw.opts.ClusterK
+	for s := 0; s < model.L; s++ {
+		// Wrap both spins into slice s: G <- B_s G B_s^{-1}.
+		wdone := sw.opts.Prof.Track(profile.Wrapping)
+		sw.wrapper.Wrap(sw.up.g, sw.Field, hubbard.Up, s)
+		sw.wrapper.Wrap(sw.dn.g, sw.Field, hubbard.Down, s)
+		wdone()
+
+		udone := sw.opts.Prof.Track(profile.DelayedUpdate)
+		for i := 0; i < n; i++ {
+			sw.proposeFlip(s, i)
+		}
+		sw.up.flush()
+		sw.dn.flush()
+		udone()
+
+		if (s+1)%k == 0 {
+			c := s / k
+			cdone := sw.opts.Prof.Track(profile.Clustering)
+			sw.csUp.Recompute(sw.Field, c)
+			sw.csDn.Recompute(sw.Field, c)
+			cdone()
+			sw.refresh((c + 1) % sw.csUp.NC)
+			if sw.boundaryHook != nil {
+				sw.boundaryHook()
+			}
+		}
+	}
+}
+
+// proposeFlip carries out the Metropolis step for h[s][i].
+func (sw *Sweeper) proposeFlip(s, i int) {
+	h := sw.Field.H[s][i]
+	aUp := sw.Prop.Alpha(hubbard.Up, h)
+	aDn := sw.Prop.Alpha(hubbard.Down, h)
+	dUp := 1 + aUp*(1-sw.up.effDiag(i))
+	dDn := 1 + aDn*(1-sw.dn.effDiag(i))
+	r := dUp * dDn * sw.Prop.BosonRatio(h)
+	sw.proposed++
+	ar := r
+	if ar < 0 {
+		ar = -ar
+	}
+	if ar < 1 && sw.Rng.Float64() >= ar {
+		return
+	}
+	// Accepted.
+	sw.accepted++
+	if r < 0 {
+		sw.sign = -sw.sign
+	}
+	sw.up.effColRow(i)
+	sw.up.push(i, aUp/dUp)
+	sw.dn.effColRow(i)
+	sw.dn.push(i, aDn/dDn)
+	sw.Field.Flip(s, i)
+	if sw.up.m == sw.opts.Delay {
+		sw.up.flush()
+		sw.dn.flush()
+	}
+}
+
+// GreenUp returns the spin-up equal-time Green's function (valid after
+// Sweep returns; do not modify).
+func (sw *Sweeper) GreenUp() *mat.Dense { return sw.up.g }
+
+// GreenDn returns the spin-down Green's function.
+func (sw *Sweeper) GreenDn() *mat.Dense { return sw.dn.g }
+
+// Sign returns the current fermion sign of the configuration weight.
+func (sw *Sweeper) Sign() float64 { return sw.sign }
+
+// SetSign restores a checkpointed sign (the sign is tracked incrementally
+// across flips, so a resumed chain must start from the saved value).
+func (sw *Sweeper) SetSign(s float64) { sw.sign = s }
+
+// AcceptanceRate returns accepted/proposed over the sweeper's lifetime.
+func (sw *Sweeper) AcceptanceRate() float64 {
+	if sw.proposed == 0 {
+		return 0
+	}
+	return float64(sw.accepted) / float64(sw.proposed)
+}
+
+// MaxWrapDrift reports the largest observed relative difference between a
+// wrapped Green's function and its stratified recomputation.
+func (sw *Sweeper) MaxWrapDrift() float64 { return sw.maxWrapDrift }
+
+// ClusterK returns the clustering size actually in use.
+func (sw *Sweeper) ClusterK() int { return sw.opts.ClusterK }

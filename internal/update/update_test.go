@@ -1,0 +1,225 @@
+package update
+
+import (
+	"math"
+	"testing"
+
+	"questgo/internal/greens"
+	"questgo/internal/hubbard"
+	"questgo/internal/lapack"
+	"questgo/internal/lattice"
+	"questgo/internal/mat"
+	"questgo/internal/profile"
+	"questgo/internal/rng"
+)
+
+func setup(t *testing.T, nx, ny int, u, beta float64, l int, seed uint64) (*hubbard.Propagator, *hubbard.Field) {
+	t.Helper()
+	lat := lattice.NewSquare(nx, ny, 1.0)
+	m, err := hubbard.NewModel(lat, u, 0, beta, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := hubbard.NewPropagator(m)
+	f := hubbard.NewRandomField(l, m.N(), rng.New(seed))
+	return p, f
+}
+
+// detM computes log|det(I + B_L...B_1)| and its sign directly.
+func detM(p *hubbard.Propagator, f *hubbard.Field, sigma hubbard.Spin) (float64, float64) {
+	n := p.Model.N()
+	bs := make([]*mat.Dense, p.Model.L)
+	for i := range bs {
+		bs[i] = p.BMatrix(sigma, f, i)
+	}
+	prod := bs[0].Clone()
+	tmp := mat.New(n, n)
+	for i := 1; i < len(bs); i++ {
+		mulInto(tmp, bs[i], prod)
+		prod, tmp = tmp, prod
+	}
+	for i := 0; i < n; i++ {
+		prod.Set(i, i, prod.At(i, i)+1)
+	}
+	lu, err := lapack.LUFactor(prod)
+	if err != nil {
+		return math.Inf(-1), 0
+	}
+	return lu.LogDet()
+}
+
+func mulInto(dst, a, b *mat.Dense) {
+	for j := 0; j < dst.Cols; j++ {
+		col := dst.Col(j)
+		for i := range col {
+			col[i] = 0
+		}
+		for k := 0; k < a.Cols; k++ {
+			f := b.At(k, j)
+			ac := a.Col(k)
+			for i := range col {
+				col[i] += f * ac[i]
+			}
+		}
+	}
+}
+
+// TestMetropolisRatioMatchesDeterminants verifies the rank-1 ratio formula
+// d = 1 + alpha*(1 - G_ii) against brute-force determinants for flips at
+// the first slice.
+func TestMetropolisRatioMatchesDeterminants(t *testing.T) {
+	p, f := setup(t, 2, 2, 4, 1, 4, 5)
+	// G for updating slice 0 is (I + B_0 B_{L-1} ... B_1)^{-1}: wrap G_base.
+	bs := make([]*mat.Dense, p.Model.L)
+	for i := range bs {
+		bs[i] = p.BMatrix(hubbard.Up, f, i)
+	}
+	g := greens.Green(bs)
+	w := greens.NewWrapper(p)
+	w.Wrap(g, f, hubbard.Up, 0)
+
+	logBefore, signBefore := detM(p, f, hubbard.Up)
+	for i := 0; i < p.Model.N(); i++ {
+		h := f.H[0][i]
+		alpha := p.Alpha(hubbard.Up, h)
+		d := 1 + alpha*(1-g.At(i, i))
+
+		f.Flip(0, i)
+		logAfter, signAfter := detM(p, f, hubbard.Up)
+		f.Flip(0, i) // restore
+
+		want := math.Exp(logAfter-logBefore) * signAfter * signBefore
+		if math.Abs(d-want) > 1e-8*math.Abs(want) {
+			t.Fatalf("site %d: ratio formula %g, determinant ratio %g", i, d, want)
+		}
+	}
+}
+
+// TestSweepKeepsGreenConsistent runs full sweeps and verifies that the
+// incrementally maintained Green's function matches a from-scratch
+// stratified evaluation of the final field.
+func TestSweepKeepsGreenConsistent(t *testing.T) {
+	p, f := setup(t, 3, 3, 4, 2, 8, 7)
+	sw := NewSweeper(p, f, rng.New(99), Options{ClusterK: 4, Delay: 3, PrePivot: true})
+	for s := 0; s < 3; s++ {
+		sw.Sweep()
+	}
+	// After Sweep, G corresponds to the full chain of the *current* field.
+	bs := make([]*mat.Dense, p.Model.L)
+	for i := range bs {
+		bs[i] = p.BMatrix(hubbard.Up, f, i)
+	}
+	fresh := greens.Green(bs)
+	if d := mat.RelDiff(sw.GreenUp(), fresh); d > 1e-8 {
+		t.Fatalf("spin-up G drifted from fresh evaluation: %g", d)
+	}
+	for i := range bs {
+		bs[i] = p.BMatrix(hubbard.Down, f, i)
+	}
+	fresh = greens.Green(bs)
+	if d := mat.RelDiff(sw.GreenDn(), fresh); d > 1e-8 {
+		t.Fatalf("spin-down G drifted from fresh evaluation: %g", d)
+	}
+}
+
+// TestDelayedEqualsPlain checks that the delayed update (nd > 1) and the
+// effectively-undelayed case (nd = 1) produce identical trajectories: the
+// same accept/reject decisions and the same final field.
+func TestDelayedEqualsPlain(t *testing.T) {
+	p, f1 := setup(t, 3, 3, 4, 2, 8, 11)
+	f2 := f1.Clone()
+	sw1 := NewSweeper(p, f1, rng.New(42), Options{ClusterK: 4, Delay: 1, PrePivot: true})
+	sw2 := NewSweeper(p, f2, rng.New(42), Options{ClusterK: 4, Delay: 16, PrePivot: true})
+	for s := 0; s < 2; s++ {
+		sw1.Sweep()
+		sw2.Sweep()
+	}
+	if sw1.AcceptanceRate() != sw2.AcceptanceRate() {
+		t.Fatalf("acceptance differs: %v vs %v", sw1.AcceptanceRate(), sw2.AcceptanceRate())
+	}
+	for l := 0; l < f1.L; l++ {
+		for i := 0; i < f1.N; i++ {
+			if f1.H[l][i] != f2.H[l][i] {
+				t.Fatalf("fields diverged at (%d,%d)", l, i)
+			}
+		}
+	}
+	if d := mat.RelDiff(sw1.GreenUp(), sw2.GreenUp()); d > 1e-8 {
+		t.Fatalf("delayed vs plain G differ: %g", d)
+	}
+}
+
+// TestQRPandPrePivotSameTrajectory: with the same RNG stream, Algorithm 2
+// and Algorithm 3 refreshes must give the same Monte Carlo decisions (their
+// Green's functions agree to ~1e-12, far below any acceptance threshold
+// sensitivity for generic uniforms).
+func TestQRPandPrePivotSameTrajectory(t *testing.T) {
+	p, f1 := setup(t, 3, 3, 6, 3, 12, 13)
+	f2 := f1.Clone()
+	sw1 := NewSweeper(p, f1, rng.New(7), Options{ClusterK: 4, PrePivot: false})
+	sw2 := NewSweeper(p, f2, rng.New(7), Options{ClusterK: 4, PrePivot: true})
+	for s := 0; s < 2; s++ {
+		sw1.Sweep()
+		sw2.Sweep()
+	}
+	for l := 0; l < f1.L; l++ {
+		for i := 0; i < f1.N; i++ {
+			if f1.H[l][i] != f2.H[l][i] {
+				t.Fatalf("fields diverged at (%d,%d)", l, i)
+			}
+		}
+	}
+}
+
+func TestSignStaysPositiveAtHalfFilling(t *testing.T) {
+	// Particle-hole symmetry at mu = 0 guarantees a positive weight.
+	p, f := setup(t, 2, 2, 6, 2, 8, 17)
+	sw := NewSweeper(p, f, rng.New(3), Options{ClusterK: 4})
+	for s := 0; s < 5; s++ {
+		sw.Sweep()
+		if sw.Sign() != 1 {
+			t.Fatalf("sign became %v at half filling", sw.Sign())
+		}
+	}
+}
+
+func TestAcceptanceRateReasonable(t *testing.T) {
+	p, f := setup(t, 3, 3, 4, 2, 8, 19)
+	sw := NewSweeper(p, f, rng.New(21), Options{ClusterK: 4})
+	for s := 0; s < 5; s++ {
+		sw.Sweep()
+	}
+	ar := sw.AcceptanceRate()
+	if ar <= 0.01 || ar >= 0.99 {
+		t.Fatalf("acceptance rate %v implausible", ar)
+	}
+}
+
+func TestWrapDriftSmall(t *testing.T) {
+	p, f := setup(t, 3, 3, 4, 2, 20, 23)
+	prof := profile.New()
+	sw := NewSweeper(p, f, rng.New(5), Options{ClusterK: 10, Prof: prof})
+	for s := 0; s < 3; s++ {
+		sw.Sweep()
+	}
+	if sw.MaxWrapDrift() > 1e-6 {
+		t.Fatalf("wrapped G drift %g exceeds tolerance (wrapping limit l=10 should hold)", sw.MaxWrapDrift())
+	}
+	if sw.MaxWrapDrift() == 0 {
+		t.Fatal("drift should be nonzero after real sweeps")
+	}
+	// All profile categories except Measurement must have accumulated time.
+	for c := profile.DelayedUpdate; c < profile.Measurement; c++ {
+		if prof.Duration(c) == 0 {
+			t.Fatalf("profile category %s never timed", c.Name())
+		}
+	}
+}
+
+func TestClusterKAdjusts(t *testing.T) {
+	p, f := setup(t, 2, 2, 4, 2, 9, 29) // L = 9; requested K=10 must fall to 9 or 3
+	sw := NewSweeper(p, f, rng.New(1), Options{ClusterK: 10})
+	if 9%sw.ClusterK() != 0 {
+		t.Fatalf("ClusterK %d does not divide L=9", sw.ClusterK())
+	}
+}

@@ -1,0 +1,117 @@
+// Package questgo is a pure-Go reimplementation of the QUEST Determinant
+// Quantum Monte Carlo (DQMC) simulator for the Hubbard model, reproducing
+// "Advancing Large Scale Many-Body QMC Simulations on GPU Accelerated
+// Multicore Systems" (Tomas, Chang, Scalettar, Bai; IEEE IPDPS 2012).
+//
+// The package exposes the high-level simulation API; the building blocks
+// live under internal/: dense kernels (internal/blas, internal/lapack),
+// the stratified Green's function evaluation with the paper's pre-pivoting
+// Algorithm 3 (internal/greens), the Metropolis sweep with delayed updates
+// (internal/update), equal-time measurements (internal/measure), and a
+// simulated GPU accelerator (internal/gpu).
+//
+// Quickstart:
+//
+//	cfg := questgo.DefaultConfig()
+//	cfg.Nx, cfg.Ny = 4, 4
+//	cfg.U, cfg.Beta, cfg.L = 4, 4, 40
+//	sim, err := questgo.NewSimulation(cfg)
+//	if err != nil { ... }
+//	res := sim.Run()
+//	fmt.Println(res.Density, res.DoubleOcc, res.SAF)
+package questgo
+
+import (
+	"fmt"
+
+	"questgo/internal/config"
+	"questgo/internal/core"
+)
+
+// Config specifies a DQMC simulation; see core.Config for field docs.
+type Config = core.Config
+
+// Results holds the Monte Carlo estimates of a finished run.
+type Results = core.Results
+
+// Simulation is a configured DQMC run.
+type Simulation = core.Simulation
+
+// Progress reports a running simulation's position to RunProgress callbacks.
+type Progress = core.Progress
+
+// Checkpoint captures the Markov-chain state of a simulation for restart
+// files; see Simulation.Checkpoint, Resume, LoadCheckpoint.
+type Checkpoint = core.Checkpoint
+
+// ChiResult holds sampled imaginary-time spin susceptibilities; see
+// Simulation.SampleSusceptibility.
+type ChiResult = core.ChiResult
+
+// DefaultConfig returns a small, fast, physically sensible configuration
+// (half-filled 4x4 Hubbard model).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// RunParallel runs independent walkers of the same configuration
+// concurrently and merges their statistics.
+func RunParallel(cfg Config, walkers int) (*Results, error) {
+	return core.RunParallel(cfg, walkers)
+}
+
+// Resume reconstructs a simulation from a checkpoint so the Markov chain
+// continues exactly where it left off.
+func Resume(c *Checkpoint) (*Simulation, error) { return core.Resume(c) }
+
+// LoadCheckpoint reads a restart file written with Checkpoint.Save.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return core.LoadCheckpoint(path) }
+
+// NewSimulation validates the configuration and prepares a simulation.
+func NewSimulation(cfg Config) (*Simulation, error) { return core.New(cfg) }
+
+// LoadConfig reads a QUEST-style "key = value" input file. Recognized keys
+// (case-insensitive, all optional, defaulting to DefaultConfig):
+//
+//	nx, ny, layers    lattice dimensions
+//	t, ty, tprime, tperp  hoppings: nearest (x / y), diagonal (t'), inter-layer
+//	u, mu, beta, l    Hamiltonian and discretization
+//	warm, meas        sweep counts
+//	k                 matrix clustering size (= wrapping count)
+//	delay             delayed-update block size
+//	prepivot          true = Algorithm 3, false = Algorithm 2
+//	seed              RNG seed
+func LoadConfig(path string) (Config, error) {
+	f, err := config.Load(path)
+	if err != nil {
+		return Config{}, err
+	}
+	return ConfigFromFile(f)
+}
+
+// ConfigFromFile maps a parsed input file onto a Config.
+func ConfigFromFile(f *config.File) (Config, error) {
+	cfg := core.DefaultConfig()
+	cfg.Nx = f.Int("nx", cfg.Nx)
+	cfg.Ny = f.Int("ny", cfg.Ny)
+	cfg.Layers = f.Int("layers", cfg.Layers)
+	cfg.T = f.Float("t", cfg.T)
+	cfg.Ty = f.Float("ty", cfg.Ty)
+	cfg.TPrime = f.Float("tprime", cfg.TPrime)
+	cfg.Tperp = f.Float("tperp", cfg.Tperp)
+	cfg.U = f.Float("u", cfg.U)
+	cfg.Mu = f.Float("mu", cfg.Mu)
+	cfg.Beta = f.Float("beta", cfg.Beta)
+	cfg.L = f.Int("l", cfg.L)
+	cfg.WarmSweeps = f.Int("warm", cfg.WarmSweeps)
+	cfg.MeasSweeps = f.Int("meas", cfg.MeasSweeps)
+	cfg.ClusterK = f.Int("k", cfg.ClusterK)
+	cfg.Delay = f.Int("delay", cfg.Delay)
+	cfg.PrePivot = f.Bool("prepivot", cfg.PrePivot)
+	cfg.Seed = f.Uint64("seed", cfg.Seed)
+	if err := f.Err(); err != nil {
+		return cfg, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, fmt.Errorf("questgo: %w", err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,84 @@
+package questgo
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"questgo/internal/config"
+)
+
+func TestDefaultConfigRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nx, cfg.Ny = 2, 2
+	cfg.L = 8
+	cfg.WarmSweeps, cfg.MeasSweeps = 5, 10
+	sim, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	if math.IsNaN(res.Density) || res.AvgSign == 0 {
+		t.Fatalf("bad results: %+v", res)
+	}
+}
+
+func TestLoadConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.in")
+	content := `
+# sample input
+nx = 6
+ny = 6
+u = 2
+beta = 4
+l = 20
+warm = 10
+meas = 20
+k = 5
+prepivot = true
+seed = 42
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Nx != 6 || cfg.U != 2 || cfg.Beta != 4 || cfg.L != 20 || cfg.Seed != 42 {
+		t.Fatalf("config mapping wrong: %+v", cfg)
+	}
+	// Defaults preserved for unspecified keys.
+	if cfg.T != 1 || !cfg.PrePivot {
+		t.Fatalf("defaults lost: %+v", cfg)
+	}
+}
+
+func TestConfigFromFileRejectsTypos(t *testing.T) {
+	f, err := config.Parse(strings.NewReader("nx = 4\nbta = 8\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConfigFromFile(f); err == nil || !strings.Contains(err.Error(), "bta") {
+		t.Fatalf("typo should be rejected: %v", err)
+	}
+}
+
+func TestConfigFromFileValidates(t *testing.T) {
+	f, err := config.Parse(strings.NewReader("beta = -3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConfigFromFile(f); err == nil {
+		t.Fatal("invalid physics should be rejected")
+	}
+}
+
+func TestLoadConfigMissingFile(t *testing.T) {
+	if _, err := LoadConfig("/no/such/file.in"); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper into results/.
+# Default parameters are scaled for a laptop core (minutes); pass
+# PAPER_SCALE=1 for the paper's sizes (hours).
+set -e
+cd "$(dirname "$0")"
+mkdir -p results
+
+if [ "${PAPER_SCALE:-0}" = "1" ]; then
+    KSIZES=128,256,384,512,768,1024
+    ACC="-nx 16 -l 160 -evals 1000"
+    GSIZES=256,400,576,784,1024
+    SSIZES=256,400,576,784,1024
+    FSIZES=16,20,24,28,32
+    FPARAMS="-beta 32 -l 160 -warm 1000 -meas 2000"
+    GPUSIZES=256,400,576,784,1024
+else
+    KSIZES=128,256,512,1024
+    ACC="-nx 8 -l 40 -evals 100"
+    GSIZES=64,144,256
+    SSIZES=16,36,64,100
+    FSIZES=8,12
+    FPARAMS="-beta 5 -l 25 -warm 60 -meas 150"
+    GPUSIZES=64,144,256,576,1024
+fi
+
+echo "== Figure 1: kernel throughput" && go run ./cmd/kernels -sizes $KSIZES -reps 2 | tee results/fig1.txt
+echo "== Figure 2: Alg2 vs Alg3 accuracy" && go run ./cmd/accuracy $ACC | tee results/fig2.txt
+echo "== Figures 3/4: Green's evaluation" && go run ./cmd/greens -sizes $GSIZES -l 40 | tee results/fig34.txt
+echo "== Figures 5: momentum distribution (path)" && go run ./cmd/figures -fig=5 -sizes $FSIZES $FPARAMS -out results | tee results/fig5.txt
+echo "== Figure 6: momentum distribution (grid)" && go run ./cmd/figures -fig=6 -sizes $FSIZES $FPARAMS -out results | tee results/fig6.txt
+echo "== Figure 7: spin correlations" && go run ./cmd/figures -fig=7 -sizes $FSIZES -u 4 $FPARAMS -out results | tee results/fig7.txt
+echo "== Figure 8 + Table I: scaling and profile" && go run ./cmd/scaling -sizes $SSIZES -l 24 -warm 10 -meas 20 | tee results/fig8_table1.txt
+echo "== Figure 9: simulated-GPU clustering/wrapping" && go run ./cmd/gpubench -fig=9 -sizes $GPUSIZES | tee results/fig9.txt
+echo "== Figure 10: hybrid Green's evaluation" && go run ./cmd/gpubench -fig=10 -sizes $GSIZES -l 40 | tee results/fig10.txt
+echo "== done; see results/"
