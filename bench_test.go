@@ -13,6 +13,7 @@ package questgo
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"questgo/internal/benchutil"
@@ -64,6 +65,50 @@ func BenchmarkFig01_DGEMM(b *testing.B) {
 			a := randomMatrix(1, n)
 			bb := randomMatrix(2, n)
 			c := mat.New(n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blas.Gemm(false, false, 1, a, bb, 0, c)
+			}
+			reportGFlops(b, benchutil.GemmFlops(n))
+		})
+	}
+}
+
+// BenchmarkGemmKernel is the dense-kernel headline series: packed GEMM
+// throughput at the paper's full size range (the figure-1 benchmark above
+// uses the scaled-down default sizes). reproduce.sh records the same series
+// to BENCH_gemm.json through cmd/kernels -json.
+func BenchmarkGemmKernel(b *testing.B) {
+	for _, n := range []int{64, 128, 256, 512, 1024} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			a := randomMatrix(1, n)
+			bb := randomMatrix(2, n)
+			c := mat.New(n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blas.Gemm(false, false, 1, a, bb, 0, c)
+			}
+			reportGFlops(b, benchutil.GemmFlops(n))
+		})
+	}
+}
+
+// BenchmarkGemmParallelScaling reports the worker-pool scaling of the packed
+// kernel: the same product run with GOMAXPROCS 1, 4, and all cores (the
+// paper's Figure 1 spans 1..12 Westmere cores the same way). On a
+// single-core host the three series coincide.
+func BenchmarkGemmParallelScaling(b *testing.B) {
+	n := 512
+	a := randomMatrix(1, n)
+	bb := randomMatrix(2, n)
+	c := mat.New(n, n)
+	procs := []int{1, 4, runtime.NumCPU()}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, p := range procs {
+		b.Run(fmt.Sprintf("procs=%d", p), func(b *testing.B) {
+			runtime.GOMAXPROCS(p)
+			defer runtime.GOMAXPROCS(old)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				blas.Gemm(false, false, 1, a, bb, 0, c)

@@ -8,13 +8,17 @@
 //
 // Usage:
 //
-//	kernels [-sizes 128,256,384,512,768,1024] [-reps 3]
+//	kernels [-sizes 128,256,384,512,768,1024] [-reps 3] [-json BENCH_gemm.json]
+//
+// With -json, one JSON line per size is appended to the named file
+// (machine-readable GFlop/s series for regression tracking).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"questgo/internal/benchutil"
@@ -27,6 +31,7 @@ import (
 func main() {
 	sizesFlag := flag.String("sizes", "128,256,384,512,768,1024", "comma-separated matrix sizes")
 	reps := flag.Int("reps", 3, "minimum repetitions per timing")
+	jsonPath := flag.String("json", "", "append one JSON line per size to this file")
 	flag.Parse()
 
 	sizes, err := benchutil.ParseSizes(*sizesFlag)
@@ -65,6 +70,22 @@ func main() {
 			fmt.Sprintf("%7.2f", qrGF),
 			fmt.Sprintf("%7.2f", qrpGF),
 			fmt.Sprintf("%5.2f", qrpGF/qrGF))
+		if *jsonPath != "" {
+			rec := struct {
+				Bench string  `json:"bench"`
+				N     int     `json:"n"`
+				Procs int     `json:"gomaxprocs"`
+				Gemm  float64 `json:"gemm_gflops"`
+				QR    float64 `json:"geqrf_gflops"`
+				QRP   float64 `json:"geqp3_gflops"`
+				Stamp string  `json:"time"`
+			}{"kernels", n, runtime.GOMAXPROCS(0), gemmGF, qrGF, qrpGF,
+				time.Now().UTC().Format(time.RFC3339)}
+			if err := benchutil.AppendJSONLine(*jsonPath, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "json append:", err)
+				os.Exit(1)
+			}
+		}
 	}
 	tbl.Render(os.Stdout)
 	fmt.Println()

@@ -5,8 +5,10 @@
 package benchutil
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"time"
 )
@@ -129,6 +131,24 @@ func (t *Table) Render(w io.Writer) {
 	for _, r := range t.rows {
 		line(r)
 	}
+}
+
+// AppendJSONLine marshals v and appends it as one line to path (JSON-lines
+// format), creating the file if needed. The bench harnesses use it to
+// accumulate machine-readable results (BENCH_*.json) across runs so
+// regressions are diffable.
+func AppendJSONLine(path string, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(data, '\n'))
+	return err
 }
 
 // ParseSizes parses a comma-separated list of integers ("256,400,576").

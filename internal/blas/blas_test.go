@@ -177,7 +177,7 @@ func TestGemmAllTranspositions(t *testing.T) {
 func TestGemmLargeBlocked(t *testing.T) {
 	// Exercise the k-block and m-block paths (dims larger than block sizes).
 	r := rng.New(4)
-	m, n, k := gemmMC+37, 2*gemmGrain+3, gemmKC+19
+	m, n, k := gemmMC+37, gemmNC+3, gemmKC+19
 	a := randomDense(r, m, k)
 	b := randomDense(r, k, n)
 	c := mat.New(m, n)

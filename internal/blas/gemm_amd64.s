@@ -1,0 +1,101 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func dgemm8x4asm(kc int64, a, b, c *float64, ldc int64)
+//
+// C[r + q*ldc] += sum_k a[8k+r] * b[4k+q] for r in [0,8), q in [0,4).
+// a is an mr=8 packed micro-panel (k-major stripes of 8), b an nr=4 packed
+// micro-panel (k-major stripes of 4); see gemm_packed.go for the layout.
+// Eight ymm accumulators hold the full 8x4 tile across the k loop; each
+// iteration issues 2 vector loads, 4 broadcasts and 8 FMAs (64 flops).
+TEXT ·dgemm8x4asm(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $3, R8              // ldc in bytes
+
+	VXORPD Y0, Y0, Y0        // C[0:4, 0]
+	VXORPD Y1, Y1, Y1        // C[4:8, 0]
+	VXORPD Y2, Y2, Y2        // C[0:4, 1]
+	VXORPD Y3, Y3, Y3        // C[4:8, 1]
+	VXORPD Y4, Y4, Y4        // C[0:4, 2]
+	VXORPD Y5, Y5, Y5        // C[4:8, 2]
+	VXORPD Y6, Y6, Y6        // C[0:4, 3]
+	VXORPD Y7, Y7, Y7        // C[4:8, 3]
+
+	TESTQ CX, CX
+	JE    write
+
+loop:
+	VMOVUPD      (SI), Y8    // a[0:4]
+	VMOVUPD      32(SI), Y9  // a[4:8]
+	VBROADCASTSD (DI), Y10   // b[0]
+	VBROADCASTSD 8(DI), Y11  // b[1]
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD 16(DI), Y12 // b[2]
+	VBROADCASTSD 24(DI), Y13 // b[3]
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+	ADDQ         $64, SI
+	ADDQ         $32, DI
+	DECQ         CX
+	JNE          loop
+
+write:
+	MOVQ    DX, R9
+	VMOVUPD (R9), Y8
+	VADDPD  Y0, Y8, Y8
+	VMOVUPD Y8, (R9)
+	VMOVUPD 32(R9), Y9
+	VADDPD  Y1, Y9, Y9
+	VMOVUPD Y9, 32(R9)
+	ADDQ    R8, R9
+	VMOVUPD (R9), Y8
+	VADDPD  Y2, Y8, Y8
+	VMOVUPD Y8, (R9)
+	VMOVUPD 32(R9), Y9
+	VADDPD  Y3, Y9, Y9
+	VMOVUPD Y9, 32(R9)
+	ADDQ    R8, R9
+	VMOVUPD (R9), Y8
+	VADDPD  Y4, Y8, Y8
+	VMOVUPD Y8, (R9)
+	VMOVUPD 32(R9), Y9
+	VADDPD  Y5, Y9, Y9
+	VMOVUPD Y9, 32(R9)
+	ADDQ    R8, R9
+	VMOVUPD (R9), Y8
+	VADDPD  Y6, Y8, Y8
+	VMOVUPD Y8, (R9)
+	VMOVUPD 32(R9), Y9
+	VADDPD  Y7, Y9, Y9
+	VMOVUPD Y9, 32(R9)
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

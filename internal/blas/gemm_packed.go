@@ -1,0 +1,282 @@
+package blas
+
+// GotoBLAS-style packed GEMM.
+//
+// The product is tiled over three cache levels:
+//
+//	for jc over N in NC columns:            // C/B column slab
+//	  for pc over K in KC:                  // shared inner dimension
+//	    pack op(B)[pc:pc+KC, jc:jc+NC]     -> bp (L3-resident, nr-wide micro-panels)
+//	    for ic over M in MC rows:
+//	      pack alpha*op(A)[ic:ic+MC, pc:]  -> ap (L2-resident, mr-tall micro-panels)
+//	      for jr, ir over micro-panels:     // parallel over jr chunks
+//	        C[ir, jr] += ap[ir] * bp[jr]    // register-blocked micro-kernel
+//
+// Both packing routines read the strided operand directly — transA/transB
+// only swap which index runs contiguously — so transposed operands cost the
+// same as plain ones and nothing is ever materialized. Packed micro-panels
+// store A k-major in mr-tall stripes (element (r, k) at [k*mr+r]) and B
+// k-major in nr-wide stripes (element (k, q) at [k*nr+q]); padding rows and
+// columns are zero-filled so the micro-kernel always runs full tiles, and
+// only the write-back respects the true edge.
+//
+// The micro-kernel itself is selected at startup: an AVX2+FMA 8x4 assembly
+// kernel on capable amd64 hardware (gemm_amd64.s), otherwise the portable
+// 4x4 Go kernel below. Contexts (including the packing buffers and the
+// parallel-loop closures) are pooled so a steady-state Gemm call performs
+// zero heap allocations.
+
+import (
+	"sync"
+
+	"questgo/internal/parallel"
+)
+
+// Cache blocking parameters. kc*nr*8 (one B micro-panel) stays L1-resident
+// through a macro row sweep; mc*kc*8 = 256 KiB (one packed A slab) targets
+// L2; kc*NC*8 = 2 MiB (one packed B slab) targets L3.
+const (
+	gemmKC = 256
+	gemmMC = 128
+	gemmNC = 1024
+)
+
+// Micro-tile dimensions, set at init by the per-arch kernel selection.
+// kernMR*kernNR accumulators live in registers across the whole KC loop.
+var (
+	kernMR      = 4
+	kernNR      = 4
+	microKernel = microKernel4x4
+)
+
+// maxMR bounds kernMR across all kernel choices (edge buffers are sized
+// statically with it).
+const maxMR = 8
+
+// gemmCtx carries one Gemm call's state. The closures are created once per
+// context (in the pool's New) so per-call dispatch into the worker pool
+// allocates nothing.
+type gemmCtx struct {
+	aData, bData, cData []float64
+	as, bs, cs          int
+	transA, transB      bool
+	alpha, beta         float64
+	m, n, k             int
+
+	jc, nb int // current column slab [jc, jc+nb)
+	pc, kc int // current k slab [pc, pc+kc)
+	ic, mb int // current row slab [ic, ic+mb)
+
+	ap, bp []float64
+
+	scaleBody func(lo, hi int)
+	packBBody func(lo, hi int)
+	macroBody func(lo, hi int)
+}
+
+var gemmCtxPool = sync.Pool{New: func() interface{} {
+	ctx := new(gemmCtx)
+	ctx.scaleBody = ctx.runScale
+	ctx.packBBody = ctx.runPackB
+	ctx.macroBody = ctx.runMacro
+	return ctx
+}}
+
+func growBuf(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// runPacked drives the blocked loops. Packing B is parallel over its
+// micro-panels; packing A is serial (it is O(mc*kc), negligible against the
+// O(mc*kc*nb) macro sweep it feeds); the macro sweep is parallel over B
+// micro-panel chunks, each worker streaming the whole packed A slab.
+func (ctx *gemmCtx) runPacked() {
+	mr, nr := kernMR, kernNR
+	for jc := 0; jc < ctx.n; jc += gemmNC {
+		ctx.jc = jc
+		ctx.nb = min(gemmNC, ctx.n-jc)
+		npan := (ctx.nb + nr - 1) / nr
+		for pc := 0; pc < ctx.k; pc += gemmKC {
+			ctx.pc = pc
+			ctx.kc = min(gemmKC, ctx.k-pc)
+			ctx.bp = growBuf(ctx.bp, npan*nr*ctx.kc)
+			parallel.For(npan, 8, ctx.packBBody)
+			for ic := 0; ic < ctx.m; ic += gemmMC {
+				ctx.ic = ic
+				ctx.mb = min(gemmMC, ctx.m-ic)
+				mpan := (ctx.mb + mr - 1) / mr
+				ctx.ap = growBuf(ctx.ap, mpan*mr*ctx.kc)
+				ctx.runPackA()
+				parallel.For(npan, 2, ctx.macroBody)
+			}
+		}
+	}
+}
+
+// runPackB packs op(B) micro-panels [plo, phi) of the current (jc, pc) slab
+// into bp. Panel p covers columns jc+p*nr .. jc+p*nr+nr with element
+// (k, q) at bp[p*nr*kc + k*nr + q]; columns past the matrix edge are zero.
+func (ctx *gemmCtx) runPackB(plo, phi int) {
+	nr, kc := kernNR, ctx.kc
+	for p := plo; p < phi; p++ {
+		dst := ctx.bp[p*nr*kc : (p+1)*nr*kc]
+		j0 := ctx.jc + p*nr
+		jw := min(nr, ctx.jc+ctx.nb-j0)
+		if jw < nr {
+			for i := range dst {
+				dst[i] = 0
+			}
+		}
+		if !ctx.transB {
+			// op(B)(pc+k, j) = B(pc+k, j): source columns are contiguous.
+			for q := 0; q < jw; q++ {
+				src := ctx.bData[ctx.pc+(j0+q)*ctx.bs:]
+				for kk := 0; kk < kc; kk++ {
+					dst[kk*nr+q] = src[kk]
+				}
+			}
+		} else {
+			// op(B)(pc+k, j) = B(j, pc+k): source rows are contiguous.
+			for kk := 0; kk < kc; kk++ {
+				src := ctx.bData[j0+(ctx.pc+kk)*ctx.bs:]
+				d := dst[kk*nr : kk*nr+jw]
+				for q := range d {
+					d[q] = src[q]
+				}
+			}
+		}
+	}
+}
+
+// runPackA packs alpha*op(A) for the current (ic, pc) slab into ap. Panel
+// ir covers rows ic+ir*mr .. +mr with element (r, k) at
+// ap[ir*mr*kc + k*mr + r]; rows past the matrix edge are zero.
+func (ctx *gemmCtx) runPackA() {
+	mr, kc := kernMR, ctx.kc
+	alpha := ctx.alpha
+	mpan := (ctx.mb + mr - 1) / mr
+	for ir := 0; ir < mpan; ir++ {
+		dst := ctx.ap[ir*mr*kc : (ir+1)*mr*kc]
+		i0 := ctx.ic + ir*mr
+		iw := min(mr, ctx.ic+ctx.mb-i0)
+		if iw < mr {
+			for i := range dst {
+				dst[i] = 0
+			}
+		}
+		if !ctx.transA {
+			// op(A)(i, pc+k) = A(i, pc+k): source columns are contiguous.
+			for kk := 0; kk < kc; kk++ {
+				src := ctx.aData[i0+(ctx.pc+kk)*ctx.as:]
+				d := dst[kk*mr : kk*mr+iw]
+				for r := range d {
+					d[r] = alpha * src[r]
+				}
+			}
+		} else {
+			// op(A)(i, pc+k) = A(pc+k, i): source rows run along k.
+			for r := 0; r < iw; r++ {
+				src := ctx.aData[ctx.pc+(i0+r)*ctx.as:]
+				for kk := 0; kk < kc; kk++ {
+					dst[kk*mr+r] = alpha * src[kk]
+				}
+			}
+		}
+	}
+}
+
+// runMacro sweeps B micro-panels [plo, phi) against every packed A panel of
+// the current slab. Full tiles go straight to the register kernel; edge
+// tiles (bottom rows / last columns) use the buffer-free scalar kernel.
+func (ctx *gemmCtx) runMacro(plo, phi int) {
+	mr, nr, kc := kernMR, kernNR, ctx.kc
+	mpan := (ctx.mb + mr - 1) / mr
+	for p := plo; p < phi; p++ {
+		bpanel := ctx.bp[p*nr*kc : (p+1)*nr*kc]
+		j0 := ctx.jc + p*nr
+		jw := min(nr, ctx.jc+ctx.nb-j0)
+		for ir := 0; ir < mpan; ir++ {
+			apanel := ctx.ap[ir*mr*kc : (ir+1)*mr*kc]
+			i0 := ctx.ic + ir*mr
+			iw := min(mr, ctx.ic+ctx.mb-i0)
+			if iw == mr && jw == nr {
+				microKernel(kc, apanel, bpanel, ctx.cData[i0+j0*ctx.cs:], ctx.cs)
+			} else {
+				microKernelEdge(kc, iw, jw, mr, nr, apanel, bpanel, ctx.cData[i0+j0*ctx.cs:], ctx.cs)
+			}
+		}
+	}
+}
+
+// microKernel4x4 is the portable register-blocked kernel:
+// C[r + q*ldc] += sum_k a[k*4+r] * b[k*4+q] with all 16 accumulators in
+// locals, fully unrolled over the tile.
+func microKernel4x4(kc int, a, b, c []float64, ldc int) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	for kk := 0; kk < kc; kk++ {
+		aa := (*[4]float64)(a[kk*4:])
+		bb := (*[4]float64)(b[kk*4:])
+		a0, a1, a2, a3 := aa[0], aa[1], aa[2], aa[3]
+		b0, b1, b2, b3 := bb[0], bb[1], bb[2], bb[3]
+		c00 += a0 * b0
+		c10 += a1 * b0
+		c20 += a2 * b0
+		c30 += a3 * b0
+		c01 += a0 * b1
+		c11 += a1 * b1
+		c21 += a2 * b1
+		c31 += a3 * b1
+		c02 += a0 * b2
+		c12 += a1 * b2
+		c22 += a2 * b2
+		c32 += a3 * b2
+		c03 += a0 * b3
+		c13 += a1 * b3
+		c23 += a2 * b3
+		c33 += a3 * b3
+	}
+	c[0] += c00
+	c[1] += c10
+	c[2] += c20
+	c[3] += c30
+	c[ldc+0] += c01
+	c[ldc+1] += c11
+	c[ldc+2] += c21
+	c[ldc+3] += c31
+	c[2*ldc+0] += c02
+	c[2*ldc+1] += c12
+	c[2*ldc+2] += c22
+	c[2*ldc+3] += c32
+	c[3*ldc+0] += c03
+	c[3*ldc+1] += c13
+	c[3*ldc+2] += c23
+	c[3*ldc+3] += c33
+}
+
+// microKernelEdge handles partial tiles (iw <= mr rows, jw <= nr columns)
+// without a spill buffer: one dot product per surviving C element over the
+// zero-padded packed panels.
+func microKernelEdge(kc, iw, jw, mr, nr int, a, b, c []float64, ldc int) {
+	for q := 0; q < jw; q++ {
+		for r := 0; r < iw; r++ {
+			var s float64
+			for kk := 0; kk < kc; kk++ {
+				s += a[kk*mr+r] * b[kk*nr+q]
+			}
+			c[r+q*ldc] += s
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

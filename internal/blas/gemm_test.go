@@ -1,0 +1,213 @@
+package blas
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"questgo/internal/mat"
+	"questgo/internal/parallel"
+	"questgo/internal/rng"
+)
+
+// gemmShapes spans the micro-kernel edge cases: dimensions below, at, and
+// just past the MR/NR tile widths, shapes straddling the small-product
+// threshold, and degenerate 1-row/1-column extents.
+var gemmShapes = []struct{ m, n, k int }{
+	{1, 1, 1},
+	{1, 9, 1},
+	{9, 1, 7},
+	{2, 3, 5},
+	{4, 4, 4},
+	{5, 5, 5},
+	{7, 13, 3},
+	{8, 4, 17},
+	{9, 5, 31},
+	{16, 16, 16},
+	{17, 33, 9},
+	{31, 32, 33},
+	{33, 33, 33},   // just past gemmSmallLimit: packed path
+	{65, 100, 31},  // packed, edge tiles on both borders
+	{129, 65, 100}, // packed, m past MC
+	{100, 129, 65},
+}
+
+// TestGemmEdgeCasesVsNaive sweeps shapes x trans combos x alpha/beta values
+// against the reference triple loop. This covers m, n, k not divisible by
+// the register tile, both kernel paths, and the beta pre-pass.
+func TestGemmEdgeCasesVsNaive(t *testing.T) {
+	r := rng.New(42)
+	for _, sh := range gemmShapes {
+		for _, ta := range []bool{false, true} {
+			for _, tb := range []bool{false, true} {
+				for _, alpha := range []float64{0, 1, 0.5} {
+					for _, beta := range []float64{0, 1, 0.5} {
+						var a, b *mat.Dense
+						if ta {
+							a = randomDense(r, sh.k, sh.m)
+						} else {
+							a = randomDense(r, sh.m, sh.k)
+						}
+						if tb {
+							b = randomDense(r, sh.n, sh.k)
+						} else {
+							b = randomDense(r, sh.k, sh.n)
+						}
+						c := randomDense(r, sh.m, sh.n)
+						want := c.Clone()
+						Gemm(ta, tb, alpha, a, b, beta, c)
+						gemmNaive(ta, tb, alpha, a, b, beta, want)
+						if !c.EqualApprox(want, 1e-11) {
+							t.Fatalf("Gemm mismatch m=%d n=%d k=%d ta=%v tb=%v alpha=%v beta=%v",
+								sh.m, sh.n, sh.k, ta, tb, alpha, beta)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGemmBetaZeroClearsNaN: beta = 0 must overwrite C without reading it,
+// so NaN/Inf garbage in the destination cannot leak into the result.
+func TestGemmBetaZeroClearsNaN(t *testing.T) {
+	r := rng.New(7)
+	for _, n := range []int{8, 64} { // small and packed paths
+		a := randomDense(r, n, n)
+		b := randomDense(r, n, n)
+		c := mat.New(n, n)
+		for i := range c.Data {
+			c.Data[i] = math.NaN()
+		}
+		want := mat.New(n, n)
+		Gemm(false, false, 1, a, b, 0, c)
+		gemmNaive(false, false, 1, a, b, 0, want)
+		if !c.EqualApprox(want, 1e-11) {
+			t.Fatalf("n=%d: NaN leaked through beta=0", n)
+		}
+	}
+}
+
+// TestGemmNoAllocSteadyState asserts the zero-allocation contract: after
+// warm-up, a Gemm call allocates nothing — contexts, packing buffers, and
+// loop descriptors all come from pools. The transA case doubles as the
+// regression test for the old implementation's a.Transpose() path, which
+// allocated a full O(m*k) copy: any per-call allocation fails the test, let
+// alone a matrix-sized one.
+func TestGemmNoAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts only meaningful without -race")
+	}
+	r := rng.New(11)
+	n := 128 // comfortably in the packed path
+	a := randomDense(r, n, n)
+	b := randomDense(r, n, n)
+	c := mat.New(n, n)
+	for _, tc := range []struct {
+		name   string
+		ta, tb bool
+	}{
+		{"NN", false, false},
+		{"TN", true, false},
+		{"NT", false, true},
+	} {
+		// Warm the pools outside the measured runs.
+		Gemm(tc.ta, tc.tb, 1, a, b, 0, c)
+		allocs := testing.AllocsPerRun(10, func() {
+			Gemm(tc.ta, tc.tb, 1, a, b, 0.5, c)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Gemm allocated %.1f objects per call, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestGemmInsideParallelFor pins the nested-parallelism contract from the
+// caller's side: Gemm dispatches onto the same worker pool as parallel.For,
+// so issuing it from inside a For body must neither deadlock nor corrupt
+// results. (The pool-level nesting test lives in internal/parallel; this one
+// exercises the real Gemm path, which internal/parallel cannot import.)
+func TestGemmInsideParallelFor(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	r := rng.New(13)
+	n := 48
+	const tasks = 8
+	as := make([]*mat.Dense, tasks)
+	bs := make([]*mat.Dense, tasks)
+	cs := make([]*mat.Dense, tasks)
+	wants := make([]*mat.Dense, tasks)
+	for i := range as {
+		as[i] = randomDense(r, n, n)
+		bs[i] = randomDense(r, n, n)
+		cs[i] = mat.New(n, n)
+		wants[i] = mat.New(n, n)
+		gemmNaive(false, false, 1, as[i], bs[i], 0, wants[i])
+	}
+
+	done := make(chan struct{})
+	go func() {
+		parallel.For(tasks, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				Gemm(false, false, 1, as[i], bs[i], 0, cs[i])
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Gemm inside parallel.For deadlocked")
+	}
+	for i := range cs {
+		if !cs[i].EqualApprox(wants[i], 1e-11) {
+			t.Fatalf("task %d: nested Gemm result corrupted", i)
+		}
+	}
+}
+
+func TestGemmTN(t *testing.T) {
+	r := rng.New(17)
+	a := randomDense(r, 40, 24)
+	b := randomDense(r, 40, 32)
+	c := randomDense(r, 24, 32)
+	want := c.Clone()
+	GemmTN(1.5, a, b, 0.5, c)
+	gemmNaive(true, false, 1.5, a, b, 0.5, want)
+	if !c.EqualApprox(want, 1e-12) {
+		t.Fatal("GemmTN disagrees with naive reference")
+	}
+}
+
+func TestSyrk(t *testing.T) {
+	r := rng.New(19)
+	for _, sz := range []struct{ k, n int }{{30, 20}, {100, 70}, {64, 65}} {
+		a := randomDense(r, sz.k, sz.n)
+		// Symmetric starting C so the beta term is well-defined in both
+		// triangles.
+		c := mat.New(sz.n, sz.n)
+		for i := 0; i < sz.n; i++ {
+			for j := i; j < sz.n; j++ {
+				v := 2*r.Float64() - 1
+				c.Set(i, j, v)
+				c.Set(j, i, v)
+			}
+		}
+		want := c.Clone()
+		Syrk(1.25, a, 0.5, c)
+		gemmNaive(true, false, 1.25, a, a, 0.5, want)
+		if !c.EqualApprox(want, 1e-11) {
+			t.Fatalf("Syrk(%d,%d) disagrees with A^T A reference", sz.k, sz.n)
+		}
+		// Result must be exactly symmetric (lower mirrored from upper).
+		for i := 0; i < sz.n; i++ {
+			for j := i + 1; j < sz.n; j++ {
+				if c.At(i, j) != c.At(j, i) {
+					t.Fatalf("Syrk result not symmetric at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}

@@ -5,23 +5,15 @@ import (
 	"questgo/internal/parallel"
 )
 
-// Cache blocking parameters for Gemm. KC columns of A (a panel of
-// mc x kc doubles) are streamed against kc x (column chunk) of B.
-const (
-	gemmKC = 128 // k-dimension block
-	gemmMC = 256 // m-dimension block (256*128*8 = 256 KiB A panel)
-	// gemmGrain is the minimum number of C columns per worker.
-	gemmGrain = 8
-)
-
 // Gemm computes C = alpha*op(A)*op(B) + beta*C, the workhorse of the
 // Green's function evaluation (matrix clustering, wrapping, and the trailing
 // updates of the QR factorizations all reduce to it).
 //
 // The (transA, transB) flags select op as identity or transposition.
-// Transposed operands are materialized once so the inner kernel is always
-// the cache-friendly column-major NN case; for DQMC sizes (N <= ~1024) the
-// extra copy is a negligible fraction of the 2mnk flops.
+// Transposition is absorbed into the packing step of the blocked kernel
+// (see gemm_packed.go), so no operand is ever materialized: both layouts
+// read the strided source directly while writing the contiguous packed
+// panels. C must not alias A or B.
 func Gemm(transA, transB bool, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
 	am, ak := a.Rows, a.Cols
 	if transA {
@@ -34,85 +26,117 @@ func Gemm(transA, transB bool, alpha float64, a, b *mat.Dense, beta float64, c *
 	if am != c.Rows || bn != c.Cols || ak != bk {
 		panic("blas: Gemm dimension mismatch")
 	}
-	if transA {
-		a = a.Transpose()
-	}
-	if transB {
-		b = b.Transpose()
-	}
-	gemmNN(alpha, a, b, beta, c)
-}
-
-// gemmNN is the blocked kernel for column-major C = alpha*A*B + beta*C.
-// Work is split over column chunks of C; each worker streams k-blocks and
-// m-blocks with a 4-way unrolled axpy micro-kernel, so reads of A columns,
-// B columns and C columns are all stride 1.
-func gemmNN(alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
-	m, n, k := c.Rows, c.Cols, a.Cols
+	m, n, k := am, bn, ak
 	if m == 0 || n == 0 {
 		return
 	}
-	if alpha == 0 || k == 0 {
-		if beta != 1 {
-			for j := 0; j < n; j++ {
-				Scal(beta, c.Col(j))
-			}
-		}
-		return
+
+	ctx := gemmCtxPool.Get().(*gemmCtx)
+	ctx.aData, ctx.as, ctx.transA = a.Data, a.Stride, transA
+	ctx.bData, ctx.bs, ctx.transB = b.Data, b.Stride, transB
+	ctx.cData, ctx.cs = c.Data, c.Stride
+	ctx.alpha, ctx.beta = alpha, beta
+	ctx.m, ctx.n, ctx.k = m, n, k
+
+	// The kernels accumulate into C, so fold beta in with one pass first.
+	// beta == 0 zeroes without reading C (NaN/Inf in uninitialized C must
+	// not leak into the result, matching reference BLAS).
+	if beta != 1 {
+		parallel.For(n, 8, ctx.scaleBody)
 	}
-	parallel.For(n, gemmGrain, func(jlo, jhi int) {
-		// Scale the destination columns once up front.
-		if beta != 1 {
-			for j := jlo; j < jhi; j++ {
-				Scal(beta, c.Col(j))
-			}
+	if alpha != 0 && k != 0 {
+		if m*n*k <= gemmSmallLimit {
+			ctx.runSmall()
+		} else {
+			ctx.runPacked()
 		}
-		for kb := 0; kb < k; kb += gemmKC {
-			ke := kb + gemmKC
-			if ke > k {
-				ke = k
-			}
-			for ib := 0; ib < m; ib += gemmMC {
-				ie := ib + gemmMC
-				if ie > m {
-					ie = m
-				}
-				gemmBlock(alpha, a, b, c, ib, ie, kb, ke, jlo, jhi)
-			}
-		}
-	})
+	}
+	ctx.aData, ctx.bData, ctx.cData = nil, nil, nil
+	gemmCtxPool.Put(ctx)
 }
 
-// gemmBlock computes C[ib:ie, jlo:jhi] += alpha * A[ib:ie, kb:ke] * B[kb:ke, jlo:jhi].
-func gemmBlock(alpha float64, a, b, c *mat.Dense, ib, ie, kb, ke, jlo, jhi int) {
+// GemmTN computes C = alpha*A^T*B + beta*C. It is a named entry for the
+// common UDT/block-reflector pattern where one operand is reused transposed
+// (W = V^T C, N = Q_a^T Q_b); the transpose is handled during packing, so
+// this costs exactly the same as the NN case.
+func GemmTN(alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
+	Gemm(true, false, alpha, a, b, beta, c)
+}
+
+// gemmSmallLimit routes products with m*n*k at or below it (roughly 32^3)
+// to the direct loops in runSmall: packing latency is not worth amortizing
+// for the small block-reflector and delayed-update shapes.
+const gemmSmallLimit = 32 * 32 * 32
+
+// runScale folds beta into columns [jlo, jhi) of C.
+func (ctx *gemmCtx) runScale(jlo, jhi int) {
 	for j := jlo; j < jhi; j++ {
-		cj := c.Data[ib+j*c.Stride : ie+j*c.Stride]
-		bj := b.Data[j*b.Stride:]
-		kk := kb
-		for ; kk+4 <= ke; kk += 4 {
-			b0 := alpha * bj[kk]
-			b1 := alpha * bj[kk+1]
-			b2 := alpha * bj[kk+2]
-			b3 := alpha * bj[kk+3]
-			if b0 == 0 && b1 == 0 && b2 == 0 && b3 == 0 {
-				continue
+		col := ctx.cData[j*ctx.cs : j*ctx.cs+ctx.m]
+		if ctx.beta == 0 {
+			for i := range col {
+				col[i] = 0
 			}
-			a0 := a.Data[ib+kk*a.Stride : ie+kk*a.Stride]
-			a1 := a.Data[ib+(kk+1)*a.Stride : ie+(kk+1)*a.Stride]
-			a2 := a.Data[ib+(kk+2)*a.Stride : ie+(kk+2)*a.Stride]
-			a3 := a.Data[ib+(kk+3)*a.Stride : ie+(kk+3)*a.Stride]
-			for i := range cj {
-				cj[i] += b0*a0[i] + b1*a1[i] + b2*a2[i] + b3*a3[i]
+		} else {
+			for i := range col {
+				col[i] *= ctx.beta
 			}
 		}
-		for ; kk < ke; kk++ {
-			bv := alpha * bj[kk]
-			if bv == 0 {
-				continue
+	}
+}
+
+// runSmall accumulates alpha*op(A)*op(B) into C with direct loops (beta has
+// already been applied). Each trans combination gets the loop order that
+// keeps the innermost accesses stride-1 where possible.
+func (ctx *gemmCtx) runSmall() {
+	m, n, k := ctx.m, ctx.n, ctx.k
+	alpha := ctx.alpha
+	a, as := ctx.aData, ctx.as
+	b, bs := ctx.bData, ctx.bs
+	c, cs := ctx.cData, ctx.cs
+	switch {
+	case !ctx.transA && !ctx.transB:
+		for j := 0; j < n; j++ {
+			cj := c[j*cs : j*cs+m]
+			bj := b[j*bs:]
+			for l := 0; l < k; l++ {
+				if f := alpha * bj[l]; f != 0 {
+					al := a[l*as : l*as+m]
+					for i := range cj {
+						cj[i] += f * al[i]
+					}
+				}
 			}
-			ak := a.Data[ib+kk*a.Stride : ie+kk*a.Stride]
-			for i := range cj {
-				cj[i] += bv * ak[i]
+		}
+	case !ctx.transA && ctx.transB:
+		for j := 0; j < n; j++ {
+			cj := c[j*cs : j*cs+m]
+			for l := 0; l < k; l++ {
+				if f := alpha * b[j+l*bs]; f != 0 {
+					al := a[l*as : l*as+m]
+					for i := range cj {
+						cj[i] += f * al[i]
+					}
+				}
+			}
+		}
+	case ctx.transA && !ctx.transB:
+		for j := 0; j < n; j++ {
+			cj := c[j*cs : j*cs+m]
+			bj := b[j*bs : j*bs+k]
+			for i := 0; i < m; i++ {
+				cj[i] += alpha * Dot(a[i*as:i*as+k], bj)
+			}
+		}
+	default: // transA && transB
+		for j := 0; j < n; j++ {
+			cj := c[j*cs : j*cs+m]
+			for i := 0; i < m; i++ {
+				ai := a[i*as : i*as+k]
+				var s float64
+				for l := 0; l < k; l++ {
+					s += ai[l] * b[j+l*bs]
+				}
+				cj[i] += alpha * s
 			}
 		}
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package blas
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates on its own, so allocation-count assertions are
+// skipped under -race.
+const raceEnabled = true

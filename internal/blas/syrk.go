@@ -1,0 +1,41 @@
+package blas
+
+import "questgo/internal/mat"
+
+// syrkNB is the column-block width of the Syrk sweep: each block update is
+// one Gemm over the upper-trapezoidal slice, so roughly half the flops of a
+// full Gemm are skipped while all of them run on the packed kernel.
+const syrkNB = 64
+
+// Syrk computes the symmetric rank-k product C = alpha*A^T*A + beta*C.
+//
+// Only the upper triangle of the input C is referenced; on return both
+// triangles hold the (symmetric) result, the lower one mirrored from the
+// upper. The sweep walks C in syrkNB-wide column blocks and computes the
+// upper-trapezoidal slice C[0:j1, j0:j1] with one Gemm each, halving the
+// work of the naive full product. It backs the UDT orthogonality norms
+// (||Q^T Q - I||_F), where the full Gemm would redundantly compute every
+// off-diagonal entry twice.
+func Syrk(alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
+	n := a.Cols
+	if c.Rows != n || c.Cols != n {
+		panic("blas: Syrk dimension mismatch")
+	}
+	if n == 0 {
+		return
+	}
+	k := a.Rows
+	for j0 := 0; j0 < n; j0 += syrkNB {
+		j1 := min(j0+syrkNB, n)
+		Gemm(true, false, alpha,
+			a.View(0, 0, k, j1), a.View(0, j0, k, j1-j0),
+			beta, c.View(0, j0, j1, j1-j0))
+	}
+	// Mirror the upper triangle into the lower.
+	for j := 0; j < n-1; j++ {
+		col := c.Col(j)
+		for i := j + 1; i < n; i++ {
+			col[i] = c.At(j, i)
+		}
+	}
+}

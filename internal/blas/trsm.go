@@ -5,6 +5,11 @@ import (
 	"questgo/internal/parallel"
 )
 
+// trsmBlock is the diagonal-block size of the blocked solve: the unblocked
+// column solver handles trsmBlock rows at a time and the rest of the work is
+// pushed into Gemm trailing updates, which run on the packed kernel.
+const trsmBlock = 64
+
 // Trsm solves op(T) * X = alpha * B in place (B is overwritten by X) for a
 // triangular T. Only the "left side" variants needed by the LU solver and
 // the blocked factorizations are implemented:
@@ -12,20 +17,87 @@ import (
 //	upper=false, unit=true  : unit lower triangular (LU forward substitution)
 //	upper=true,  unit=false : upper triangular (LU back substitution)
 //
-// trans selects op(T) = T or T^T. Right-hand sides (columns of B) are
-// independent, so they are solved in parallel.
+// trans selects op(T) = T or T^T. The solve is blocked: each trsmBlock-sized
+// diagonal block is solved with the unblocked column routine (right-hand
+// sides in parallel), then the remaining rows are updated with one Gemm rank
+// update, so the bulk of the flops run through the packed kernel.
 func Trsm(upper, trans, unit bool, alpha float64, t, b *mat.Dense) {
 	n := t.Rows
 	if t.Cols != n || b.Rows != n {
 		panic("blas: Trsm dimension mismatch")
 	}
+	if b.Cols == 0 || n == 0 {
+		return
+	}
+	if alpha != 1 {
+		parallel.For(b.Cols, 8, func(jlo, jhi int) {
+			for j := jlo; j < jhi; j++ {
+				Scal(alpha, b.Col(j))
+			}
+		})
+	}
+	if n <= trsmBlock {
+		solveDiag(upper, trans, unit, t, b, 0, n)
+		return
+	}
+	// Forward sweeps eliminate solved blocks from the rows below; backward
+	// sweeps from the rows above. Transposed cases feed Gemm the mirrored
+	// off-diagonal block with transA=true, which the packed kernel absorbs
+	// during packing.
+	switch {
+	case !trans && !upper:
+		for k0 := 0; k0 < n; k0 += trsmBlock {
+			k1 := min(k0+trsmBlock, n)
+			solveDiag(upper, trans, unit, t, b, k0, k1)
+			if k1 < n {
+				Gemm(false, false, -1,
+					t.View(k1, k0, n-k1, k1-k0), b.View(k0, 0, k1-k0, b.Cols),
+					1, b.View(k1, 0, n-k1, b.Cols))
+			}
+		}
+	case !trans && upper:
+		for k1 := n; k1 > 0; k1 -= trsmBlock {
+			k0 := max(k1-trsmBlock, 0)
+			solveDiag(upper, trans, unit, t, b, k0, k1)
+			if k0 > 0 {
+				Gemm(false, false, -1,
+					t.View(0, k0, k0, k1-k0), b.View(k0, 0, k1-k0, b.Cols),
+					1, b.View(0, 0, k0, b.Cols))
+			}
+		}
+	case trans && !upper:
+		// T^T is upper triangular: backward sweep, block column of T below
+		// the diagonal becomes the block row of T^T to its right.
+		for k1 := n; k1 > 0; k1 -= trsmBlock {
+			k0 := max(k1-trsmBlock, 0)
+			solveDiag(upper, trans, unit, t, b, k0, k1)
+			if k0 > 0 {
+				Gemm(true, false, -1,
+					t.View(k0, 0, k1-k0, k0), b.View(k0, 0, k1-k0, b.Cols),
+					1, b.View(0, 0, k0, b.Cols))
+			}
+		}
+	default: // trans && upper
+		// T^T is lower triangular: forward sweep.
+		for k0 := 0; k0 < n; k0 += trsmBlock {
+			k1 := min(k0+trsmBlock, n)
+			solveDiag(upper, trans, unit, t, b, k0, k1)
+			if k1 < n {
+				Gemm(true, false, -1,
+					t.View(k0, k1, k1-k0, n-k1), b.View(k0, 0, k1-k0, b.Cols),
+					1, b.View(k1, 0, n-k1, b.Cols))
+			}
+		}
+	}
+}
+
+// solveDiag solves op(T[k0:k1, k0:k1]) * X = B[k0:k1, :] in place, with the
+// right-hand-side columns in parallel.
+func solveDiag(upper, trans, unit bool, t, b *mat.Dense, k0, k1 int) {
+	td := t.View(k0, k0, k1-k0, k1-k0)
 	parallel.For(b.Cols, 4, func(jlo, jhi int) {
 		for j := jlo; j < jhi; j++ {
-			x := b.Col(j)
-			if alpha != 1 {
-				Scal(alpha, x)
-			}
-			trsv(upper, trans, unit, t, x)
+			trsv(upper, trans, unit, td, b.Col(j)[k0:k1])
 		}
 	})
 }
@@ -93,4 +165,11 @@ func trsv(upper, trans, unit bool, t *mat.Dense, x []float64) {
 			}
 		}
 	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -20,6 +20,7 @@ type ClusterSet struct {
 	sigma    hubbard.Spin
 	prop     *hubbard.Propagator
 	clusters []*mat.Dense
+	chain    []*mat.Dense // reused by Chain (rebuilt on every call)
 	tmp      *mat.Dense
 	v        []float64
 }
@@ -38,6 +39,7 @@ func NewClusterSet(p *hubbard.Propagator, f *hubbard.Field, sigma hubbard.Spin, 
 		sigma:    sigma,
 		prop:     p,
 		clusters: make([]*mat.Dense, l/k),
+		chain:    make([]*mat.Dense, l/k),
 		tmp:      mat.New(n, n),
 		v:        make([]float64, n),
 	}
@@ -82,13 +84,13 @@ func (cs *ClusterSet) Cluster(c int) *mat.Dense { return cs.clusters[c] }
 //
 // for l = c*K, i.e. the Green's function seen after sweeping the first c
 // clusters (c = 0 gives the standard G = (I + Bhat_NC ... Bhat_1)^{-1}).
-// The slice is freshly allocated; the matrices are shared.
+// The returned slice is owned by the ClusterSet and overwritten by the next
+// Chain call; the matrices are shared.
 func (cs *ClusterSet) Chain(c int) []*mat.Dense {
-	out := make([]*mat.Dense, 0, cs.NC)
 	for i := 0; i < cs.NC; i++ {
-		out = append(out, cs.clusters[(c+i)%cs.NC])
+		cs.chain[i] = cs.clusters[(c+i)%cs.NC]
 	}
-	return out
+	return cs.chain
 }
 
 // GreenAt evaluates the stratified Green's function after cluster c with

@@ -209,9 +209,9 @@ func InvertUDTSum(a, b *UDT) *mat.Dense {
 	mT := a.T.Transpose()
 	luTbT.Solve(mT)
 	m := mT.Transpose()
-	// N = Ua^T Ub.
+	// N = Ua^T Ub (transpose absorbed by the Gemm packing).
 	nn := mat.New(n, n)
-	blas.Gemm(true, false, 1, a.Q, b.Q, 0, nn)
+	blas.GemmTN(1, a.Q, b.Q, 0, nn)
 
 	// C = Da^s M (Db^b)^{-1} + (Da^b)^{-1} N Db^s.
 	m.ScaleRows(daSmall)

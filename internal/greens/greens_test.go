@@ -58,6 +58,22 @@ func TestUDTReconstructsShortProduct(t *testing.T) {
 	}
 }
 
+// TestOrthoError checks the Syrk-backed orthogonality diagnostic: tiny for
+// the Q of a healthy stratification even under extreme grading, and O(1)
+// for a deliberately non-orthogonal U factor.
+func TestOrthoError(t *testing.T) {
+	_, _, bs := testChain(t, 4, 4, 6, 8, 40, 17)
+	for name, udt := range map[string]*UDT{"qrp": StratifyQRP(bs), "prepivot": StratifyPrePivot(bs)} {
+		if e := udt.OrthoError(); e > 1e-12 {
+			t.Fatalf("%s: Q lost orthogonality: ||Q^T Q - I||_F = %g", name, e)
+		}
+	}
+	bad := &UDT{Q: bs[0].Clone()}
+	if e := bad.OrthoError(); e < 1e-3 {
+		t.Fatalf("non-orthogonal factor reported error %g", e)
+	}
+}
+
 func TestStratifyDGraded(t *testing.T) {
 	_, _, bs := testChain(t, 4, 4, 6, 8, 40, 13)
 	for name, udt := range map[string]*UDT{"qrp": StratifyQRP(bs), "prepivot": StratifyPrePivot(bs)} {

@@ -97,11 +97,24 @@ func stratify(bs []*mat.Dense, pivotEveryStep bool) *UDT {
 	}
 	n := bs[0].Rows
 
+	// Q, D, T escape in the returned UDT; every other n x n temporary is
+	// recycled through the scratch pool across calls.
+	c := mat.GetScratch(n, n)
+	r := mat.GetScratch(n, n)
+	ci := mat.GetScratch(n, n)
+	tNew := mat.GetScratch(n, n)
+	defer func() {
+		mat.PutScratch(c)
+		mat.PutScratch(r)
+		mat.PutScratch(ci)
+		mat.PutScratch(tNew)
+	}()
+
 	// Step 1-2: B_1 = Q_1 R_1 P_1^T; D_1 = diag(R_1); T_1 = D_1^{-1} R_1 P_1^T.
-	c := bs[0].Clone()
+	c.CopyFrom(bs[0])
 	qr, jpvt := lapack.QRPFactor(c)
 	d := make([]float64, n)
-	r := qr.R()
+	qr.RInto(r)
 	r.Diagonal(d)
 	scaleInvRows(r, d)
 	t := mat.New(n, n)
@@ -113,8 +126,6 @@ func stratify(bs []*mat.Dense, pivotEveryStep bool) *UDT {
 	q := mat.New(n, n)
 	qr.FormQ(q)
 
-	ci := mat.New(n, n)
-	tNew := mat.New(n, n)
 	for i := 1; i < len(bs); i++ {
 		// Step 3a: C_i = (B_i Q_{i-1}) D_{i-1}. The parenthesization is
 		// essential: B_i * Q is a product of well-scaled matrices, and the
@@ -132,7 +143,7 @@ func stratify(bs []*mat.Dense, pivotEveryStep bool) *UDT {
 			ci.CopyFrom(tNew)
 			qr = lapack.QRFactor(ci)
 		}
-		r = qr.R()
+		qr.RInto(r)
 		r.Diagonal(d)
 		scaleInvRows(r, d)
 		// Step 3c/3d: T_i = (D_i^{-1} R_i) (P_i^T T_{i-1}).
@@ -183,9 +194,11 @@ func GreenFromUDT(u *UDT) *mat.Dense {
 		}
 	}
 	// M = D_b Q^T + D_s T, RHS = D_b Q^T.
-	qt := u.Q.Transpose()
+	qt := mat.GetScratch(n, n)
+	u.Q.TransposeInto(qt)
 	qt.ScaleRows(db)
-	m := u.T.Clone()
+	m := mat.GetScratch(n, n)
+	m.CopyFrom(u.T)
 	m.ScaleRows(ds)
 	m.Add(1, qt)
 	g := qt.Clone()
@@ -197,7 +210,27 @@ func GreenFromUDT(u *UDT) *mat.Dense {
 		_ = err
 	}
 	lu.Solve(g)
+	mat.PutScratch(qt)
+	mat.PutScratch(m)
 	return g
+}
+
+// OrthoError returns ||Q^T Q - I||_F, the departure of the U factor from
+// orthogonality. It is the cheap stability diagnostic of the stratification:
+// a healthy decomposition keeps it at a small multiple of machine epsilon
+// regardless of the grading in D. The Gram matrix comes from the symmetric
+// rank-k kernel (blas.Syrk), which does roughly half the work of a full
+// Q^T * Q product.
+func (u *UDT) OrthoError() float64 {
+	n := u.Q.Cols
+	s := mat.GetScratch(n, n)
+	blas.Syrk(1, u.Q, 0, s)
+	for i := 0; i < n; i++ {
+		s.Set(i, i, s.At(i, i)-1)
+	}
+	err := s.FrobNorm()
+	mat.PutScratch(s)
+	return err
 }
 
 // Green evaluates G = (I + bs[last] ... bs[0])^{-1} with Algorithm 3

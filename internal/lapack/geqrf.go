@@ -25,10 +25,20 @@ func QRFactor(a *mat.Dense) *QR {
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	tau := make([]float64, k)
-	work := make([]float64, n)
-	t := mat.New(qrBlock, qrBlock)
-	v := mat.New(m, qrBlock)
-	wrk := mat.New(2*qrBlock, n)
+	// The panel/reflector scratch is identical on every call for a given
+	// shape, so it comes from the shared pool (tau escapes in the QR and
+	// stays heap-allocated).
+	wk := mat.GetScratch(n, 1)
+	work := wk.Data[:n]
+	t := mat.GetScratch(qrBlock, qrBlock)
+	v := mat.GetScratch(m, qrBlock)
+	wrk := mat.GetScratch(2*qrBlock, n)
+	defer func() {
+		mat.PutScratch(wk)
+		mat.PutScratch(t)
+		mat.PutScratch(v)
+		mat.PutScratch(wrk)
+	}()
 	for j := 0; j < k; j += qrBlock {
 		jb := min(qrBlock, k-j)
 		panel := a.View(j, j, m-j, jb)
@@ -90,15 +100,29 @@ func copyReflectors(panel, dst *mat.Dense) {
 // k = min(m, n).
 func (qr *QR) R() *mat.Dense {
 	m, n := qr.A.Rows, qr.A.Cols
+	r := mat.New(min(m, n), n)
+	qr.RInto(r)
+	return r
+}
+
+// RInto writes the upper triangular factor into r, which must be k x n with
+// k = min(m, n). Entries below the diagonal are zeroed. Unlike R it performs
+// no allocation, so the stratification loop can reuse one pooled matrix.
+func (qr *QR) RInto(r *mat.Dense) {
+	m, n := qr.A.Rows, qr.A.Cols
 	k := min(m, n)
-	r := mat.New(k, n)
+	if r.Rows != k || r.Cols != n {
+		panic("lapack: RInto dimension mismatch")
+	}
 	for j := 0; j < n; j++ {
 		src := qr.A.Col(j)
 		dst := r.Col(j)
 		top := min(j+1, k)
 		copy(dst[:top], src[:top])
+		for i := top; i < k; i++ {
+			dst[i] = 0
+		}
 	}
-	return r
 }
 
 // MulQ applies Q (trans=false) or Q^T (trans=true) from the left to c in
@@ -109,9 +133,14 @@ func (qr *QR) MulQ(trans bool, c *mat.Dense) {
 		panic("lapack: MulQ dimension mismatch")
 	}
 	k := len(qr.Tau)
-	v := mat.New(m, qrBlock)
-	t := mat.New(qrBlock, qrBlock)
-	wrk := mat.New(2*qrBlock, c.Cols)
+	v := mat.GetScratch(m, qrBlock)
+	t := mat.GetScratch(qrBlock, qrBlock)
+	wrk := mat.GetScratch(2*qrBlock, c.Cols)
+	defer func() {
+		mat.PutScratch(v)
+		mat.PutScratch(t)
+		mat.PutScratch(wrk)
+	}()
 	apply := func(j, jb int) {
 		vv := v.View(0, 0, m-j, jb)
 		copyReflectors(qr.A.View(j, j, m-j, jb), vv)

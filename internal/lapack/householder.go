@@ -114,8 +114,8 @@ func larfb(v *mat.Dense, t *mat.Dense, trans bool, c *mat.Dense, work *mat.Dense
 	n := c.Cols
 	w := work.View(0, 0, k, n)
 	w2 := work.View(k, 0, k, n)
-	// W = V^T C
-	blas.Gemm(true, false, 1, v, c, 0, w)
+	// W = V^T C (the transpose is absorbed by the Gemm packing)
+	blas.GemmTN(1, v, c, 0, w)
 	// W2 = op(T) W, with T upper triangular (treated densely; k is small).
 	blas.Gemm(trans, false, 1, t, w, 0, w2)
 	// C -= V W2

@@ -1,0 +1,87 @@
+package mat
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch matrix pool.
+//
+// The Green's function pipeline allocates the same handful of N x N
+// temporaries on every evaluation (stratification work matrices, QR panel
+// buffers, transposed copies for the final solve). At N = 1024 each one is
+// 8 MiB, so per-call allocation both churns the GC and loses cache warmth.
+// GetScratch/PutScratch recycle those buffers through size-class pools:
+// class k holds backing slices of capacity 2^k floats, so a buffer returned
+// for one shape can serve any later request that rounds up to the same
+// class.
+
+// scratchClasses bounds the largest pooled buffer at 2^(scratchClasses-1)
+// floats (= 2 GiB of float64); larger requests fall through to plain New.
+const scratchClasses = 28
+
+var scratchPools [scratchClasses]sync.Pool
+
+// scratchClass returns the size class whose buffers hold at least n floats.
+func scratchClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// GetScratch returns a zeroed rows x cols matrix with a tight stride,
+// drawing the backing storage from the scratch pool when possible. Pair it
+// with PutScratch when the matrix is dead; a matrix that escapes (is
+// returned to a caller) should be allocated with New instead.
+func GetScratch(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("mat: negative dimension")
+	}
+	need := rows * cols
+	class := scratchClass(need)
+	if class >= scratchClasses {
+		return New(rows, cols)
+	}
+	v := scratchPools[class].Get()
+	if v == nil {
+		return &Dense{Rows: rows, Cols: cols, Stride: max(rows, 1), Data: make([]float64, 1<<class)[:need]}
+	}
+	d := v.(*Dense)
+	d.Rows, d.Cols, d.Stride = rows, cols, max(rows, 1)
+	d.Data = d.Data[:cap(d.Data)][:need]
+	for i := range d.Data {
+		d.Data[i] = 0
+	}
+	return d
+}
+
+// PutScratch returns a matrix obtained from GetScratch to the pool. The
+// caller must not use d (or any view of it) afterwards. Matrices from other
+// sources are accepted as long as their backing capacity is sane; they are
+// filed under the largest class their capacity covers.
+func PutScratch(d *Dense) {
+	if d == nil || cap(d.Data) == 0 {
+		return
+	}
+	class := bits.Len(uint(cap(d.Data))) - 1 // floor(log2): cap >= 2^class
+	if class >= scratchClasses {
+		return
+	}
+	scratchPools[class].Put(d)
+}
+
+// TransposeInto writes the transpose of m into dst (dst must be Cols x Rows
+// and must not alias m). Unlike Transpose it performs no allocation, so hot
+// paths can pair it with GetScratch.
+func (m *Dense) TransposeInto(dst *Dense) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic("mat: TransposeInto dimension mismatch")
+	}
+	for j := 0; j < m.Cols; j++ {
+		col := m.Col(j)
+		for i, v := range col {
+			dst.Data[j+i*dst.Stride] = v
+		}
+	}
+}

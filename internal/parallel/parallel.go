@@ -2,16 +2,17 @@
 // by the dense linear algebra kernels and the DQMC driver.
 //
 // The paper targets a two-socket six-core (12-way) shared memory node and
-// parallelizes with OpenMP; here goroutines play the role of OpenMP threads.
-// All helpers degrade gracefully to serial execution when GOMAXPROCS is 1 or
-// when the workload is below the grain size, so small DQMC matrices do not
-// pay scheduling overhead.
+// parallelizes with OpenMP; here a pool of persistent goroutines plays the
+// role of the OpenMP thread team (see pool.go). All helpers degrade
+// gracefully to serial execution when GOMAXPROCS is 1 or when the workload
+// is below the grain size, so small DQMC matrices do not pay scheduling
+// overhead, and nested calls (a parallel Gemm inside a parallel loop body)
+// are safe: inner loops that find no idle worker run serially on the caller.
 package parallel
 
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 )
 
 // maxWorkers reports the number of workers to use for a loop of n iterations
@@ -30,10 +31,16 @@ func maxWorkers(n, grain int) int {
 	return w
 }
 
+// chunksPerWorker oversubscribes the chunk count so dynamic claiming can
+// rebalance when chunk costs are uneven, without making chunks so small
+// that the atomic cursor becomes contended.
+const chunksPerWorker = 4
+
 // For executes body(lo, hi) over a partition of [0, n) using up to
-// GOMAXPROCS goroutines. Each chunk holds at least grain iterations; if the
-// loop is too small for more than one chunk the body runs on the calling
-// goroutine with no synchronization cost.
+// GOMAXPROCS workers from the persistent pool. Each chunk holds at least
+// grain iterations; if the loop is too small for more than one chunk the
+// body runs on the calling goroutine with no synchronization cost. A body
+// may be invoked several times on the same worker with different ranges.
 func For(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -43,25 +50,19 @@ func For(n, grain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	chunk := (n + w - 1) / w
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
+	chunk := (n + w*chunksPerWorker - 1) / (w * chunksPerWorker)
+	if chunk < grain {
+		chunk = grain
 	}
-	wg.Wait()
+	t := taskPool.Get().(*loopTask)
+	t.body, t.each, t.n, t.chunk, t.next = body, nil, n, chunk, 0
+	runShared(w, t)
+	t.release()
 }
 
-// ForDynamic executes body(i) for i in [0, n) with dynamic (work-stealing
-// style) scheduling: workers atomically claim blocks of the given grain.
-// Use it when per-iteration cost is irregular, e.g. pivoted panel work.
+// ForDynamic executes body(i) for i in [0, n) with dynamic scheduling:
+// workers atomically claim blocks of the given grain. Use it when
+// per-iteration cost is irregular, e.g. pivoted panel work.
 func ForDynamic(n, grain int, body func(i int)) {
 	if n <= 0 {
 		return
@@ -76,68 +77,38 @@ func ForDynamic(n, grain int, body func(i int)) {
 		}
 		return
 	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(atomic.AddInt64(&next, int64(grain))) - grain
-				if lo >= n {
-					return
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					body(i)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	t := taskPool.Get().(*loopTask)
+	t.body, t.each, t.n, t.chunk, t.next = nil, body, n, grain, 0
+	runShared(w, t)
+	t.release()
 }
 
-// ReduceSum computes the sum of f(i) for i in [0, n) in parallel.
+// ReduceSum computes the sum of f(i) for i in [0, n) in parallel. The
+// addition order depends on the chunking, so results can differ from the
+// serial sum by floating-point roundoff.
 func ReduceSum(n, grain int, f func(i int) float64) float64 {
 	if n <= 0 {
 		return 0
 	}
-	w := maxWorkers(n, grain)
-	if w == 1 {
+	if maxWorkers(n, grain) == 1 {
 		var s float64
 		for i := 0; i < n; i++ {
 			s += f(i)
 		}
 		return s
 	}
-	chunk := (n + w - 1) / w
-	partial := make([]float64, 0, w)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	var (
+		mu    sync.Mutex
+		total float64
+	)
+	For(n, grain, func(lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += f(i)
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			var s float64
-			for i := lo; i < hi; i++ {
-				s += f(i)
-			}
-			mu.Lock()
-			partial = append(partial, s)
-			mu.Unlock()
-		}(lo, hi)
-	}
-	wg.Wait()
-	var s float64
-	for _, p := range partial {
-		s += p
-	}
-	return s
+		mu.Lock()
+		total += s
+		mu.Unlock()
+	})
+	return total
 }

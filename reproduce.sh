@@ -6,6 +6,11 @@ set -e
 cd "$(dirname "$0")"
 mkdir -p results
 
+echo "== Verify: vet, race tests, kernel regression bench"
+go vet ./...
+go test -race ./internal/parallel/ ./internal/blas/
+go run ./cmd/kernels -sizes 64,128,256,512,1024 -reps 2 -json BENCH_gemm.json
+
 if [ "${PAPER_SCALE:-0}" = "1" ]; then
     KSIZES=128,256,384,512,768,1024
     ACC="-nx 16 -l 160 -evals 1000"
