@@ -8,18 +8,33 @@
 //
 //	sweep -scan beta -values 1,2,3,4 [-nx 4] [-u 4] [-walkers 2] [-chi]
 //	sweep -scan u -values 0,2,4,6 -beta 3
+//
+// With -json, the command instead runs the sweep-scale benchmark: for each
+// lattice size in -bsizes it times ms/sweep of the full Metropolis sweep in
+// two configurations — the pre-optimization baseline (full-chain
+// stratified refresh, serial spin sectors) and the production path
+// (prefix/suffix UDT stack + spin-parallel phases) — and appends one JSON
+// line per size to the named file:
+//
+//	sweep -json BENCH_sweep.json -bsizes 8,12,16 -bsweeps 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"questgo"
 	"questgo/internal/benchutil"
 	"questgo/internal/core"
+	"questgo/internal/hubbard"
+	"questgo/internal/lattice"
+	"questgo/internal/rng"
+	"questgo/internal/update"
 )
 
 func main() {
@@ -36,7 +51,20 @@ func main() {
 	chi := flag.Bool("chi", false, "also sample the spin susceptibility chi_zz(pi,pi)")
 	chiSamples := flag.Int("chisamples", 5, "sweeps sampled for chi")
 	seed := flag.Uint64("seed", 1, "RNG seed")
+	jsonPath := flag.String("json", "", "benchmark mode: append ms/sweep JSON lines to this file")
+	bsizes := flag.String("bsizes", "8,12,16", "benchmark lattice linear sizes")
+	bl := flag.Int("bl", 40, "benchmark time slices")
+	bk := flag.Int("bk", 5, "benchmark cluster size k")
+	bsweeps := flag.Int("bsweeps", 2, "timed sweeps per configuration")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := runSweepBench(*jsonPath, *bsizes, *bl, *bk, *bsweeps); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	values, err := parseFloats(*valuesFlag)
 	if err != nil {
@@ -118,6 +146,70 @@ func main() {
 
 func sampleChi(sim *questgo.Simulation, samples int) *core.ChiResult {
 	return sim.SampleSusceptibility(samples, 0)
+}
+
+// runSweepBench times full Metropolis sweeps at each lattice size, baseline
+// (NoStack + SerialSpins, the pre-optimization path) vs the production
+// stack + spin-parallel path, and appends one JSON line per size.
+func runSweepBench(path, sizesFlag string, l, k, sweeps int) error {
+	sizes, err := benchutil.ParseSizes(sizesFlag)
+	if err != nil {
+		return err
+	}
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	fmt.Println("Sweep-scale benchmark: ms/sweep, baseline (full rebuild, serial spins)")
+	fmt.Println("vs stacked stratification + spin-parallel pipeline")
+	fmt.Println()
+	tbl := benchutil.NewTable("N", "L", "k", "base ms/sweep", "opt ms/sweep", "speedup")
+	for _, nx := range sizes {
+		lat := lattice.NewSquare(nx, nx, 1.0)
+		model, err := hubbard.NewModel(lat, 4, 0, 0.125*float64(l), l)
+		if err != nil {
+			return err
+		}
+		prop := hubbard.NewPropagator(model)
+
+		msPerSweep := func(noStack, serial bool) float64 {
+			f := hubbard.NewRandomField(l, model.N(), rng.New(11))
+			sw := update.NewSweeper(prop, f, rng.New(23), update.Options{
+				ClusterK: k, PrePivot: true, NoStack: noStack, SerialSpins: serial,
+			})
+			sw.Sweep() // warm the pools and caches
+			start := time.Now()
+			for i := 0; i < sweeps; i++ {
+				sw.Sweep()
+			}
+			return time.Since(start).Seconds() * 1e3 / float64(sweeps)
+		}
+		base := msPerSweep(true, true)
+		opt := msPerSweep(false, false)
+
+		n := model.N()
+		tbl.AddRow(n, l, k,
+			fmt.Sprintf("%9.1f", base),
+			fmt.Sprintf("%9.1f", opt),
+			fmt.Sprintf("%5.2f", base/opt))
+		rec := struct {
+			Bench string  `json:"bench"`
+			N     int     `json:"n"`
+			Nx    int     `json:"nx"`
+			L     int     `json:"l"`
+			K     int     `json:"k"`
+			Procs int     `json:"gomaxprocs"`
+			Base  float64 `json:"baseline_ms_per_sweep"`
+			Opt   float64 `json:"stacked_ms_per_sweep"`
+			Speed float64 `json:"speedup"`
+			Stamp string  `json:"time"`
+		}{"sweep", n, nx, l, k, runtime.GOMAXPROCS(0), base, opt, base / opt,
+			time.Now().UTC().Format(time.RFC3339)}
+		if err := benchutil.AppendJSONLine(path, rec); err != nil {
+			return err
+		}
+	}
+	tbl.Render(os.Stdout)
+	return nil
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -114,10 +114,12 @@ func Resume(c *Checkpoint) (*Simulation, error) {
 	prof := profile.New()
 	sim.prof = prof
 	sim.sweeper = update.NewSweeper(sim.prop, sim.field, sim.rng, update.Options{
-		ClusterK: c.Config.ClusterK,
-		Delay:    c.Config.Delay,
-		PrePivot: c.Config.PrePivot,
-		Prof:     prof,
+		ClusterK:    c.Config.ClusterK,
+		Delay:       c.Config.Delay,
+		PrePivot:    c.Config.PrePivot,
+		NoStack:     c.Config.NoStack,
+		SerialSpins: c.Config.SerialSpins,
+		Prof:        prof,
 	})
 	sim.sweeper.SetSign(c.Sign)
 	return sim, nil

@@ -42,6 +42,13 @@ type Config struct {
 	ClusterK int  // matrix clustering size k (= wrapping count l); 10 in the paper
 	Delay    int  // delayed-update block size
 	PrePivot bool // true: Algorithm 3 (the paper's method); false: Algorithm 2
+	// NoStack disables the prefix/suffix UDT stratification stack and
+	// recomputes every boundary Green's function by full re-stratification
+	// of the cluster chain (the reference path; slower, same physics).
+	NoStack bool
+	// SerialSpins disables the concurrent execution of the up/down spin
+	// phases inside each sweep (reference path; identical arithmetic).
+	SerialSpins bool
 	// MeasureBoundaries takes equal-time measurements at every cluster
 	// boundary of a measurement sweep (L/k per sweep, averaged) instead of
 	// once at its end — QUEST's variance-reduction practice. DefaultConfig
@@ -156,10 +163,12 @@ func New(cfg Config) (*Simulation, error) {
 	field := hubbard.NewRandomField(cfg.L, model.N(), r)
 	prof := profile.New()
 	sw := update.NewSweeper(prop, field, r, update.Options{
-		ClusterK: cfg.ClusterK,
-		Delay:    cfg.Delay,
-		PrePivot: cfg.PrePivot,
-		Prof:     prof,
+		ClusterK:    cfg.ClusterK,
+		Delay:       cfg.Delay,
+		PrePivot:    cfg.PrePivot,
+		NoStack:     cfg.NoStack,
+		SerialSpins: cfg.SerialSpins,
+		Prof:        prof,
 	})
 	return &Simulation{cfg: cfg, lat: lat, model: model, prop: prop, field: field, rng: r, sweeper: sw, prof: prof}, nil
 }

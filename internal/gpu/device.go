@@ -17,6 +17,7 @@ package gpu
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"questgo/internal/blas"
@@ -57,8 +58,15 @@ func TeslaC2050() DeviceModel {
 // Device is a simulated accelerator: matrices "resident" on it are ordinary
 // host memory, but every operation advances a modeled clock according to
 // the DeviceModel.
+//
+// The clock and counters are mutex-guarded so independent command streams —
+// the spin-up and spin-down Accelerators of the spin-parallel sweep — can
+// charge the same device concurrently, modeling two CUDA streams sharing
+// one card. Matrix payloads are not guarded: concurrent use is only safe on
+// disjoint device matrices, which per-spin Accelerator scratch guarantees.
 type Device struct {
 	model       DeviceModel
+	mu          sync.Mutex
 	clock       time.Duration
 	realTime    time.Duration
 	transferred int64
@@ -91,20 +99,21 @@ func (a *Matrix) Cols() int { return a.cols }
 
 // Malloc allocates an uninitialized device matrix.
 func (d *Device) Malloc(rows, cols int) *Matrix {
+	d.mu.Lock()
 	d.allocBytes += int64(rows) * int64(cols) * 8
+	d.mu.Unlock()
 	return &Matrix{dev: d, m: mat.New(rows, cols), rows: rows, cols: cols}
 }
 
 func (d *Device) chargeTransfer(bytes int64) {
+	d.mu.Lock()
 	d.transferred += bytes
 	d.clock += d.model.TransferLatency
 	d.clock += time.Duration(float64(bytes) / d.model.TransferBytesPerSec * float64(time.Second))
+	d.mu.Unlock()
 }
 
 func (d *Device) chargeKernel(flops, memBytes float64) {
-	d.kernels++
-	d.flops += flops
-	d.clock += d.model.KernelLaunch
 	compute := flops / d.model.GemmFlopsPerSec
 	memory := memBytes / d.model.MemBytesPerSec
 	// The kernel runs at whichever resource is the bottleneck.
@@ -112,7 +121,12 @@ func (d *Device) chargeKernel(flops, memBytes float64) {
 	if memory > t {
 		t = memory
 	}
+	d.mu.Lock()
+	d.kernels++
+	d.flops += flops
+	d.clock += d.model.KernelLaunch
 	d.clock += time.Duration(t * float64(time.Second))
+	d.mu.Unlock()
 }
 
 // SetMatrix copies a host matrix to the device (cublasSetMatrix).
@@ -223,28 +237,54 @@ func (d *Device) checkOwned(a *Matrix) {
 // time with the modeled device clock.
 func (d *Device) trackReal() func() {
 	start := time.Now()
-	return func() { d.realTime += time.Since(start) }
+	return func() {
+		d.mu.Lock()
+		d.realTime += time.Since(start)
+		d.mu.Unlock()
+	}
 }
 
 // Clock returns the modeled device time elapsed since the last Reset.
-func (d *Device) Clock() time.Duration { return d.clock }
+func (d *Device) Clock() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clock
+}
 
 // RealTime returns the wall time the host spent executing simulated device
 // kernels since the last Reset (transfer copies excluded; they stand in
 // for DMA).
-func (d *Device) RealTime() time.Duration { return d.realTime }
+func (d *Device) RealTime() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.realTime
+}
 
 // Flops returns the floating-point operations charged since Reset.
-func (d *Device) Flops() float64 { return d.flops }
+func (d *Device) Flops() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.flops
+}
 
 // Transferred returns host<->device bytes moved since Reset.
-func (d *Device) Transferred() int64 { return d.transferred }
+func (d *Device) Transferred() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.transferred
+}
 
 // Kernels returns the number of kernel launches since Reset.
-func (d *Device) Kernels() int { return d.kernels }
+func (d *Device) Kernels() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.kernels
+}
 
 // GFlopsRate returns the achieved modeled throughput in GFlop/s.
 func (d *Device) GFlopsRate() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.clock == 0 {
 		return 0
 	}
@@ -253,11 +293,13 @@ func (d *Device) GFlopsRate() float64 {
 
 // Reset zeroes the modeled clock and counters (allocations persist).
 func (d *Device) Reset() {
+	d.mu.Lock()
 	d.clock = 0
 	d.realTime = 0
 	d.transferred = 0
 	d.flops = 0
 	d.kernels = 0
+	d.mu.Unlock()
 }
 
 // String describes the device.

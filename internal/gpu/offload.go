@@ -110,6 +110,11 @@ func (cs *ClusterSet) Recompute(f *hubbard.Field, c int) {
 // Cluster returns the host copy of cluster c.
 func (cs *ClusterSet) Cluster(c int) *mat.Dense { return cs.clusters[c] }
 
+// Clusters returns NC, satisfying the greens.ClusterSource interface so a
+// greens.StratStack can maintain prefix/suffix UDTs over device-built
+// clusters.
+func (cs *ClusterSet) Clusters() int { return cs.NC }
+
 // Chain returns the clusters in application order for boundary c (see
 // greens.ClusterSet.Chain).
 func (cs *ClusterSet) Chain(c int) []*mat.Dense {

@@ -4,6 +4,7 @@ import (
 	"questgo/internal/greens"
 	"questgo/internal/hubbard"
 	"questgo/internal/mat"
+	"questgo/internal/parallel"
 	"questgo/internal/profile"
 	"questgo/internal/rng"
 )
@@ -11,10 +12,17 @@ import (
 // Sweeper is the device-offloaded counterpart of update.Sweeper: the same
 // Metropolis sweep (Algorithm 1) with every level-3 phase on the simulated
 // accelerator — wrapping (Algorithm 6/7), matrix clustering (Algorithm
-// 4/5), and the stratified recomputation via the hybrid Algorithm 3
-// (Section VII future work). The per-site rank-1 bookkeeping, which is
-// latency-bound and serial, stays on the host, exactly as the paper's
-// hybrid design prescribes.
+// 4/5), and the delayed-update flush GEMMs. The per-site rank-1
+// bookkeeping, which is latency-bound and serial, stays on the host,
+// exactly as the paper's hybrid design prescribes.
+//
+// It shares the two structural optimizations of the CPU sweeper: the
+// boundary Green's functions come from a greens.StratStack over the
+// device-built clusters (one prefix extension per boundary instead of a
+// full chain re-stratification; SweeperOptions.NoStack restores the hybrid
+// full-rebuild reference), and the per-spin device phases run concurrently
+// through parallel.Pair — each spin owns an Accelerator, modeling two CUDA
+// streams sharing one card, with the Device clock mutex-serialized.
 //
 // It produces the same Markov chain as the CPU sweeper up to floating-
 // point reassociation in the stratified refreshes (the wrapping and
@@ -25,30 +33,147 @@ type Sweeper struct {
 	Field *hubbard.Field
 	Rng   *rng.Rand
 
-	acc      *Accelerator
+	dev      *Device
 	clusterK int
 	delay    int
+	serial   bool
 	prof     *profile.Profile
 
-	csUp, csDn *ClusterSet
-	gUp, gDn   *mat.Dense
-	uUp, wUp   *mat.Dense
-	uDn, wDn   *mat.Dense
-	pending    int
-	sign       float64
-	accepted   int64
-	proposed   int64
+	up, dn   *gpuSpin
+	sign     float64
+	accepted int64
+	proposed int64
+
+	// Pre-bound closures and their operand fields for the spin forks (see
+	// update.Sweeper; same zero-alloc scheme).
+	wrapUpFn, wrapDnFn     func()
+	flushUpFn, flushDnFn   func()
+	acceptUpFn, acceptDnFn func()
+	clusterUpFn, clusterDn func()
+	refreshUpFn, refreshDn func()
+	advanceUpFn, advanceDn func()
+	wrapSlice              int
+	flipSite               int
+	facUp, facDn           float64
+	cluster                int
+	boundary               int
+}
+
+// gpuSpin owns one spin sector's device session: its Accelerator (device
+// scratch must not be shared between concurrently running spins), cluster
+// set, stratification stack, Green's function, and delayed-update buffers.
+type gpuSpin struct {
+	sigma hubbard.Spin
+	acc   *Accelerator
+	cs    *ClusterSet
+	st    *greens.StratStack
+	g     *mat.Dense
+	u, w  *mat.Dense
+	m     int
+	// Device-resident flush operands, allocated once.
+	dg, du, dw *Matrix
+}
+
+func newGpuSpin(dev *Device, p *hubbard.Propagator, f *hubbard.Field, sigma hubbard.Spin, k, nd int, noStack bool) *gpuSpin {
+	n := p.Model.N()
+	sp := &gpuSpin{
+		sigma: sigma,
+		acc:   NewAccelerator(dev, p),
+		g:     mat.New(n, n),
+		u:     mat.New(n, nd),
+		w:     mat.New(n, nd),
+		dg:    dev.Malloc(n, n),
+		du:    dev.Malloc(n, nd),
+		dw:    dev.Malloc(n, nd),
+	}
+	sp.cs = NewClusterSet(sp.acc, f, sigma, k)
+	if !noStack {
+		sp.st = greens.NewStratStack(sp.cs, true)
+	}
+	return sp
+}
+
+func (sp *gpuSpin) effDiag(i int) float64 {
+	gii := sp.g.At(i, i)
+	for t := 0; t < sp.m; t++ {
+		gii += sp.u.At(i, t) * sp.w.At(i, t)
+	}
+	return gii
+}
+
+// push assembles the effective column/row of G for site i and queues the
+// rank-1 update with amplitude factor = alpha/d.
+func (sp *gpuSpin) push(i int, factor float64) {
+	n := sp.g.Rows
+	uc := sp.u.Col(sp.m)
+	wc := sp.w.Col(sp.m)
+	copy(uc, sp.g.Col(i))
+	for r := 0; r < n; r++ {
+		wc[r] = sp.g.At(i, r)
+	}
+	for t := 0; t < sp.m; t++ {
+		ut := sp.u.Col(t)
+		wt := sp.w.Col(t)
+		wi := wt[i]
+		ui := ut[i]
+		for r := 0; r < n; r++ {
+			uc[r] += ut[r] * wi
+			wc[r] += wt[r] * ui
+		}
+	}
+	for r := 0; r < n; r++ {
+		uc[r] *= -factor
+		wc[r] = -wc[r]
+	}
+	wc[i] += 1
+	sp.m++
+}
+
+// flush applies the pending block update G += U*W^T with a *device* GEMM —
+// on real hardware this is where the delayed-update trick pays off most,
+// since the rank-nd updates are pure DGEMM.
+func (sp *gpuSpin) flush(dev *Device) {
+	if sp.m == 0 {
+		return
+	}
+	n := sp.g.Rows
+	dev.SetMatrix(sp.dg, sp.g)
+	duV := sp.du.Sub(0, 0, n, sp.m)
+	dwV := sp.dw.Sub(0, 0, n, sp.m)
+	dev.SetMatrix(duV, sp.u.View(0, 0, n, sp.m))
+	dev.SetMatrix(dwV, sp.w.View(0, 0, n, sp.m))
+	dev.Dgemm(false, true, 1, duV, dwV, 1, sp.dg)
+	dev.GetMatrix(sp.g, sp.dg)
+	sp.m = 0
+}
+
+// refresh recomputes the spin's Green's function at the given boundary:
+// through the stratification stack when enabled, otherwise by the hybrid
+// full-chain rebuild (StratifyHybrid + GreenFromUDTHybrid).
+func (sp *gpuSpin) refresh(dev *Device, boundary int) {
+	if sp.st != nil {
+		sp.st.GreenInto(sp.g)
+		return
+	}
+	sp.g.CopyFrom(GreenFromUDTHybrid(dev, StratifyHybrid(dev, sp.cs.Chain(boundary))))
 }
 
 // SweeperOptions configures the hybrid sweeper.
 type SweeperOptions struct {
 	ClusterK int
 	Delay    int
-	Prof     *profile.Profile
+	// NoStack disables the prefix/suffix UDT stack and refreshes by full
+	// hybrid re-stratification of the cluster chain (the pre-stack
+	// reference path).
+	NoStack bool
+	// SerialSpins disables the concurrent up/down device phases.
+	SerialSpins bool
+	Prof        *profile.Profile
 }
 
 // NewSweeper builds the device cluster sets and the initial Green's
-// functions through the hybrid stratification.
+// functions through the stratification stack (or the hybrid rebuild when
+// NoStack is set).
 func NewSweeper(dev *Device, p *hubbard.Propagator, f *hubbard.Field, r *rng.Rand, opts SweeperOptions) *Sweeper {
 	if opts.ClusterK < 1 {
 		opts.ClusterK = 10
@@ -63,105 +188,96 @@ func NewSweeper(dev *Device, p *hubbard.Propagator, f *hubbard.Field, r *rng.Ran
 	if opts.Delay > n {
 		opts.Delay = n
 	}
-	acc := NewAccelerator(dev, p)
 	sw := &Sweeper{
 		Prop: p, Field: f, Rng: r,
-		acc:      acc,
+		dev:      dev,
 		clusterK: opts.ClusterK,
 		delay:    opts.Delay,
+		serial:   opts.SerialSpins,
 		prof:     opts.Prof,
-		gUp:      mat.New(n, n),
-		gDn:      mat.New(n, n),
-		uUp:      mat.New(n, opts.Delay),
-		wUp:      mat.New(n, opts.Delay),
-		uDn:      mat.New(n, opts.Delay),
-		wDn:      mat.New(n, opts.Delay),
 		sign:     1,
 	}
 	done := opts.Prof.Track(profile.Clustering)
-	sw.csUp = NewClusterSet(acc, f, hubbard.Up, opts.ClusterK)
-	sw.csDn = NewClusterSet(acc, f, hubbard.Down, opts.ClusterK)
+	sw.up = newGpuSpin(dev, p, f, hubbard.Up, opts.ClusterK, opts.Delay, opts.NoStack)
+	sw.dn = newGpuSpin(dev, p, f, hubbard.Down, opts.ClusterK, opts.Delay, opts.NoStack)
 	done()
+
+	sw.wrapUpFn = func() { sw.up.acc.Wrap(sw.up.g, sw.Field, hubbard.Up, sw.wrapSlice) }
+	sw.wrapDnFn = func() { sw.dn.acc.Wrap(sw.dn.g, sw.Field, hubbard.Down, sw.wrapSlice) }
+	sw.flushUpFn = func() { sw.up.flush(sw.dev) }
+	sw.flushDnFn = func() { sw.dn.flush(sw.dev) }
+	sw.acceptUpFn = func() { sw.up.push(sw.flipSite, sw.facUp) }
+	sw.acceptDnFn = func() { sw.dn.push(sw.flipSite, sw.facDn) }
+	sw.clusterUpFn = func() { sw.up.cs.Recompute(sw.Field, sw.cluster) }
+	sw.clusterDn = func() { sw.dn.cs.Recompute(sw.Field, sw.cluster) }
+	sw.refreshUpFn = func() { sw.up.refresh(sw.dev, sw.boundary) }
+	sw.refreshDn = func() { sw.dn.refresh(sw.dev, sw.boundary) }
+	if sw.up.st != nil {
+		sw.advanceUpFn = func() { sw.up.st.Advance() }
+		sw.advanceDn = func() { sw.dn.st.Advance() }
+	}
+
 	sw.refresh(0)
 	return sw
 }
 
+func (sw *Sweeper) fork(up, dn func()) {
+	if sw.serial {
+		up()
+		dn()
+		return
+	}
+	parallel.Pair(up, dn)
+}
+
 func (sw *Sweeper) refresh(c int) {
 	defer sw.prof.Track(profile.Stratification)()
-	sw.gUp.CopyFrom(GreenFromUDTHybrid(sw.acc.Dev, StratifyHybrid(sw.acc.Dev, sw.csUp.Chain(c))))
-	sw.gDn.CopyFrom(GreenFromUDTHybrid(sw.acc.Dev, StratifyHybrid(sw.acc.Dev, sw.csDn.Chain(c))))
+	sw.boundary = c
+	sw.fork(sw.refreshUpFn, sw.refreshDn)
 }
 
 // Sweep performs one full Metropolis sweep with device-offloaded
-// wrapping, clustering and stratification.
+// wrapping, clustering and delayed-update flushes, the up/down sectors
+// running concurrently.
 func (sw *Sweeper) Sweep() {
 	model := sw.Prop.Model
 	n := model.N()
 	k := sw.clusterK
 	for s := 0; s < model.L; s++ {
 		wdone := sw.prof.Track(profile.Wrapping)
-		sw.acc.Wrap(sw.gUp, sw.Field, hubbard.Up, s)
-		sw.acc.Wrap(sw.gDn, sw.Field, hubbard.Down, s)
+		sw.wrapSlice = s
+		sw.fork(sw.wrapUpFn, sw.wrapDnFn)
 		wdone()
 
 		udone := sw.prof.Track(profile.DelayedUpdate)
 		for i := 0; i < n; i++ {
 			sw.proposeFlip(s, i)
 		}
-		sw.flush()
+		sw.fork(sw.flushUpFn, sw.flushDnFn)
 		udone()
 
 		if (s+1)%k == 0 {
 			c := s / k
 			cdone := sw.prof.Track(profile.Clustering)
-			sw.csUp.Recompute(sw.Field, c)
-			sw.csDn.Recompute(sw.Field, c)
+			sw.cluster = c
+			sw.fork(sw.clusterUpFn, sw.clusterDn)
 			cdone()
-			sw.refresh((c + 1) % sw.csUp.NC)
+			if sw.up.st != nil {
+				sdone := sw.prof.Track(profile.Stratification)
+				sw.fork(sw.advanceUpFn, sw.advanceDn)
+				sdone()
+			}
+			sw.refresh((c + 1) % sw.up.cs.NC)
 		}
 	}
-}
-
-func (sw *Sweeper) effDiag(g, u, w *mat.Dense, i int) float64 {
-	gii := g.At(i, i)
-	for t := 0; t < sw.pending; t++ {
-		gii += u.At(i, t) * w.At(i, t)
-	}
-	return gii
-}
-
-func (sw *Sweeper) push(g, u, w *mat.Dense, i int, factor float64) {
-	n := g.Rows
-	uc := u.Col(sw.pending)
-	wc := w.Col(sw.pending)
-	// Effective column and row of G.
-	copy(uc, g.Col(i))
-	for r := 0; r < n; r++ {
-		wc[r] = g.At(i, r)
-	}
-	for t := 0; t < sw.pending; t++ {
-		ut := u.Col(t)
-		wt := w.Col(t)
-		wi := wt[i]
-		ui := ut[i]
-		for r := 0; r < n; r++ {
-			uc[r] += ut[r] * wi
-			wc[r] += wt[r] * ui
-		}
-	}
-	for r := 0; r < n; r++ {
-		uc[r] *= -factor
-		wc[r] = -wc[r]
-	}
-	wc[i] += 1
 }
 
 func (sw *Sweeper) proposeFlip(s, i int) {
 	h := sw.Field.H[s][i]
 	aUp := sw.Prop.Alpha(hubbard.Up, h)
 	aDn := sw.Prop.Alpha(hubbard.Down, h)
-	dUp := 1 + aUp*(1-sw.effDiag(sw.gUp, sw.uUp, sw.wUp, i))
-	dDn := 1 + aDn*(1-sw.effDiag(sw.gDn, sw.uDn, sw.wDn, i))
+	dUp := 1 + aUp*(1-sw.up.effDiag(i))
+	dDn := 1 + aDn*(1-sw.dn.effDiag(i))
 	r := dUp * dDn * sw.Prop.BosonRatio(h)
 	sw.proposed++
 	ar := r
@@ -175,45 +291,21 @@ func (sw *Sweeper) proposeFlip(s, i int) {
 	if r < 0 {
 		sw.sign = -sw.sign
 	}
-	sw.push(sw.gUp, sw.uUp, sw.wUp, i, aUp/dUp)
-	sw.push(sw.gDn, sw.uDn, sw.wDn, i, aDn/dDn)
-	sw.pending++
+	sw.flipSite = i
+	sw.facUp = aUp / dUp
+	sw.facDn = aDn / dDn
+	sw.fork(sw.acceptUpFn, sw.acceptDnFn)
 	sw.Field.Flip(s, i)
-	if sw.pending == sw.delay {
-		sw.flush()
+	if sw.up.m == sw.delay {
+		sw.fork(sw.flushUpFn, sw.flushDnFn)
 	}
-}
-
-// flush applies the pending block updates with *device* GEMMs — on real
-// hardware this is where the delayed-update trick pays off most, since
-// the rank-nd updates are pure DGEMM.
-func (sw *Sweeper) flush() {
-	if sw.pending == 0 {
-		return
-	}
-	m := sw.pending
-	dev := sw.acc.Dev
-	n := sw.gUp.Rows
-	applyFlush := func(g, u, w *mat.Dense) {
-		dg := dev.Malloc(n, n)
-		dev.SetMatrix(dg, g)
-		du := dev.Malloc(n, m)
-		dev.SetMatrix(du, u.View(0, 0, n, m))
-		dw := dev.Malloc(n, m)
-		dev.SetMatrix(dw, w.View(0, 0, n, m))
-		dev.Dgemm(false, true, 1, du, dw, 1, dg)
-		dev.GetMatrix(g, dg)
-	}
-	applyFlush(sw.gUp, sw.uUp, sw.wUp)
-	applyFlush(sw.gDn, sw.uDn, sw.wDn)
-	sw.pending = 0
 }
 
 // GreenUp returns the spin-up Green's function (valid after Sweep).
-func (sw *Sweeper) GreenUp() *mat.Dense { return sw.gUp }
+func (sw *Sweeper) GreenUp() *mat.Dense { return sw.up.g }
 
 // GreenDn returns the spin-down Green's function.
-func (sw *Sweeper) GreenDn() *mat.Dense { return sw.gDn }
+func (sw *Sweeper) GreenDn() *mat.Dense { return sw.dn.g }
 
 // Sign returns the tracked configuration sign.
 func (sw *Sweeper) Sign() float64 { return sw.sign }
@@ -227,7 +319,7 @@ func (sw *Sweeper) AcceptanceRate() float64 {
 }
 
 // Device exposes the underlying simulated device for its counters.
-func (sw *Sweeper) Device() *Device { return sw.acc.Dev }
+func (sw *Sweeper) Device() *Device { return sw.dev }
 
 // Greens consistency check against the CPU evaluation — used by tests.
 func (sw *Sweeper) freshCPU(sigma hubbard.Spin) *mat.Dense {

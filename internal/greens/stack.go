@@ -1,0 +1,237 @@
+package greens
+
+import (
+	"sync/atomic"
+
+	"questgo/internal/blas"
+	"questgo/internal/lapack"
+	"questgo/internal/mat"
+)
+
+// ClusterSource is the slice of the ClusterSet contract the stratification
+// stack needs: a fixed number of cluster products, addressable by index.
+// Both greens.ClusterSet (host) and gpu.ClusterSet (device-built clusters)
+// satisfy it.
+type ClusterSource interface {
+	// Clusters returns the number of cluster products NC = L/k.
+	Clusters() int
+	// Cluster returns the stored product for cluster c (not modified).
+	Cluster(c int) *mat.Dense
+}
+
+// StratStack amortizes the per-boundary stratified Green's function
+// recomputation of a sweep (Section III cluster recycling; Bauer,
+// SciPost 2020, arXiv:2003.05286).
+//
+// The naive sweeper rebuilds the whole L/k-cluster UDT chain at every
+// cluster boundary, i.e. O((L/k)^2) cluster-UDT steps per sweep. The stack
+// exploits the sweep's access pattern instead. At boundary c the chain is
+//
+//	P(c) = Bhat_{c-1}' ... Bhat_0' * Bhat_{NC-1} ... Bhat_c,
+//
+// where primes mark clusters already re-sampled this sweep. The left
+// ("prefix") factor grows by exactly one cluster per boundary, so its UDT
+// is extended incrementally — one extendUDT step per boundary. The right
+// ("suffix") factors shrink from the left, which is the wrong direction for
+// UDT extension; but all of them are built from *unchanged* clusters, so
+// the stack precomputes every suffix decomposition once per sweep in a
+// single backward pass over the transposed clusters:
+//
+//	suf[j] = UDT of (Bhat_{NC-1} ... Bhat_j)^T
+//	       = extend(suf[j+1], Bhat_j^T),
+//
+// i.e. NC-1 extension steps total, snapshotting after each. A boundary then
+// costs one prefix extension plus one combine (a single QR of the scaled
+// middle matrix), for ~3*NC steps per sweep instead of NC^2.
+//
+// Usage per sweep, mirroring Sweeper.Sweep: after re-sampling and
+// recomputing cluster c, call Advance (absorbs cluster c into the prefix)
+// and then GreenInto (Green's function at boundary c+1). When the prefix
+// has absorbed all NC clusters, GreenInto evaluates the full chain from the
+// prefix alone — arithmetically identical to the from-scratch
+// stratification of Chain(0) — and then rolls: the suffix stack is rebuilt
+// from the now-current clusters and the prefix is reset for the next sweep.
+type StratStack struct {
+	src      ClusterSource
+	prePivot bool // Algorithm 3 (true) vs Algorithm 2 (false) steps
+	n        int
+	nc       int
+	filled   int // clusters absorbed into the prefix
+	fresh    bool
+
+	prefix UDT
+	suf    []UDT // suf[j]: transposed-suffix snapshot, j = 1..NC-1
+}
+
+// NewStratStack builds the suffix decompositions for the source's current
+// clusters. prePivot selects the same pivoting policy as the sweeper's
+// stratified refresh (Algorithm 3 vs Algorithm 2).
+func NewStratStack(src ClusterSource, prePivot bool) *StratStack {
+	nc := src.Clusters()
+	n := src.Cluster(0).Rows
+	st := &StratStack{src: src, prePivot: prePivot, n: n, nc: nc}
+	st.prefix = UDT{Q: mat.New(n, n), D: make([]float64, n), T: mat.New(n, n)}
+	st.suf = make([]UDT, nc)
+	for j := 1; j < nc; j++ {
+		st.suf[j] = UDT{Q: mat.New(n, n), D: make([]float64, n), T: mat.New(n, n)}
+	}
+	st.Rebuild()
+	return st
+}
+
+// Filled returns how many clusters the prefix currently covers; the next
+// GreenInto evaluates boundary Filled (mod NC).
+func (st *StratStack) Filled() int { return st.filled }
+
+// Rebuild recomputes every suffix snapshot from the source's current
+// clusters and resets the prefix. Called automatically when a sweep's
+// prefix completes; call it manually only if clusters changed outside the
+// Advance order (e.g. after loading a checkpointed field).
+func (st *StratStack) Rebuild() {
+	work := mat.GetScratch(st.n, st.n)
+	r := mat.GetScratch(st.n, st.n)
+	tNew := mat.GetScratch(st.n, st.n)
+	bt := mat.GetScratch(st.n, st.n)
+	defer func() {
+		mat.PutScratch(work)
+		mat.PutScratch(r)
+		mat.PutScratch(tNew)
+		mat.PutScratch(bt)
+	}()
+	for j := st.nc - 1; j >= 1; j-- {
+		st.src.Cluster(j).TransposeInto(bt)
+		u := &st.suf[j]
+		if j == st.nc-1 {
+			initUDT(u, bt, work, r)
+		} else {
+			u.Q.CopyFrom(st.suf[j+1].Q)
+			copy(u.D, st.suf[j+1].D)
+			u.T.CopyFrom(st.suf[j+1].T)
+			extendUDT(u, bt, !st.prePivot, work, r, tNew)
+		}
+	}
+	st.filled = 0
+	st.fresh = true
+}
+
+// Advance absorbs the source's cluster Filled() — which the sweeper has
+// just recomputed from the re-sampled field — into the prefix UDT. Exactly
+// one extension step; must be called in cluster order 0, 1, ..., NC-1.
+func (st *StratStack) Advance() {
+	if st.filled >= st.nc {
+		panic("greens: StratStack.Advance past the last cluster (missing GreenInto roll?)")
+	}
+	work := mat.GetScratch(st.n, st.n)
+	r := mat.GetScratch(st.n, st.n)
+	tNew := mat.GetScratch(st.n, st.n)
+	defer func() {
+		mat.PutScratch(work)
+		mat.PutScratch(r)
+		mat.PutScratch(tNew)
+	}()
+	b := st.src.Cluster(st.filled)
+	if st.filled == 0 {
+		initUDT(&st.prefix, b, work, r)
+	} else {
+		extendUDT(&st.prefix, b, !st.prePivot, work, r, tNew)
+	}
+	st.filled++
+	st.fresh = false
+}
+
+// GreenInto writes the equal-time Green's function at boundary Filled()
+// into dst (n x n).
+//
+// Filled() == 0 (only before the first Advance after construction or
+// Rebuild): the full chain is stratified from scratch — this is the
+// initial-refresh case and is arithmetically identical to the seed path.
+// 0 < Filled() < NC: prefix and suffix are combined with one QR.
+// Filled() == NC: the prefix covers the whole chain; after evaluating it
+// the stack rolls over (suffix rebuild + prefix reset) for the next sweep.
+func (st *StratStack) GreenInto(dst *mat.Dense) {
+	switch {
+	case st.filled == 0:
+		if !st.fresh {
+			st.Rebuild()
+		}
+		chain := make([]*mat.Dense, st.nc)
+		for i := range chain {
+			chain[i] = st.src.Cluster(i)
+		}
+		GreenInto(dst, chain, st.prePivot)
+	case st.filled == st.nc:
+		GreenFromUDTInto(dst, &st.prefix)
+		st.Rebuild()
+	default:
+		st.combineInto(dst, st.filled)
+	}
+}
+
+// combineInto evaluates G at boundary c from the prefix UDT and the
+// transposed-suffix snapshot suf[c].
+//
+// With prefix = Q1 D1 T1 and suffix^T = Qs Ds Ts (so the suffix itself is
+// Ts^T Ds Qs^T), the boundary chain is
+//
+//	P(c) = Q1 (D1 * T1 Ts^T * Ds) Qs^T.
+//
+// The middle matrix mixes the two gradings but is the product of two
+// well-conditioned factors scaled on either side, exactly the shape the
+// stratification step already handles: factor it as q d t with the same
+// pivoting policy, giving P = (Q1 q) d (t Qs^T) — a single UDT for the
+// whole chain, finished by the stabilized inversion.
+func (st *StratStack) combineInto(dst *mat.Dense, c int) {
+	n := st.n
+	suf := &st.suf[c]
+	m := mat.GetScratch(n, n)
+	r := mat.GetScratch(n, n)
+	tmp := mat.GetScratch(n, n)
+	that := mat.GetScratch(n, n)
+	defer func() {
+		mat.PutScratch(m)
+		mat.PutScratch(r)
+		mat.PutScratch(tmp)
+		mat.PutScratch(that)
+	}()
+
+	// M = D1 * (T1 Ts^T) * Ds.
+	blas.Gemm(false, true, 1, st.prefix.T, suf.T, 0, m)
+	m.ScaleRows(st.prefix.D)
+	m.ScaleCols(suf.D)
+
+	var qr *lapack.QR
+	var perm []int
+	if st.prePivot {
+		perm = descendingNormPerm(m)
+		permuteColsGather(tmp, m, perm)
+		m.CopyFrom(tmp)
+		qr = lapack.QRFactor(m)
+	} else {
+		qr, perm = lapack.QRPFactor(m)
+	}
+	d := getVec(n)
+	qr.RInto(r)
+	r.Diagonal(d)
+	scaleInvRows(r, d)
+	// that = (d^{-1} R) P^T: scatter column j back to original position.
+	for j := 0; j < n; j++ {
+		copy(that.Col(perm[j]), r.Col(j))
+	}
+	qmid := tmp // free again after the permuted copy above
+	qr.FormQ(qmid)
+	if st.prePivot {
+		putPerm(perm)
+	}
+
+	// Q_new = Q1 * q, T_new = that * Qs^T.
+	qNew := mat.GetScratch(n, n)
+	tNew := mat.GetScratch(n, n)
+	blas.Gemm(false, false, 1, st.prefix.Q, qmid, 0, qNew)
+	blas.Gemm(false, true, 1, that, suf.Q, 0, tNew)
+	u := UDT{Q: qNew, D: d, T: tNew}
+	GreenFromUDTInto(dst, &u)
+	mat.PutScratch(qNew)
+	mat.PutScratch(tNew)
+	putVec(d)
+	atomic.AddInt64(&udtSteps, 1)
+}

@@ -7,13 +7,16 @@
 // column pivoting, and Algorithm 3, the paper's contribution, which
 // replaces per-step pivoting by a pre-computed column-norm permutation
 // followed by an ordinary blocked QR. It also implements the cost
-// reductions of Section III: matrix clustering, wrapping, and cluster
-// recycling.
+// reductions of Section III: matrix clustering, wrapping, cluster
+// recycling, and (stack.go) the amortized prefix/suffix UDT stack that
+// replaces the per-boundary full-chain rebuild.
 package greens
 
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"questgo/internal/blas"
 	"questgo/internal/lapack"
@@ -41,10 +44,57 @@ func (u *UDT) Matrix() *mat.Dense {
 	return out
 }
 
+// udtSteps counts cluster-level UDT factorization steps (one per matrix
+// absorbed into a decomposition, plus one per stack combine). The stack
+// test uses it to assert that the prefix/suffix scheme performs
+// asymptotically fewer steps per sweep than the full-chain rebuild.
+var udtSteps int64
+
+// UDTSteps returns the cumulative cluster-UDT step count. Monotonic; take
+// deltas to compare code paths.
+func UDTSteps() int64 { return atomic.LoadInt64(&udtSteps) }
+
+// vecPool recycles the float64 work vectors (inverse diagonals, column
+// norms) that the stratification loop used to allocate on every call.
+var vecPool sync.Pool
+
+func getVec(n int) []float64 {
+	if v, ok := vecPool.Get().(*[]float64); ok && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]float64, n)
+}
+
+func putVec(v []float64) {
+	if cap(v) == 0 {
+		return
+	}
+	vecPool.Put(&v)
+}
+
+// permPool does the same for the pre-pivot permutation vectors.
+var permPool sync.Pool
+
+func getPerm(n int) []int {
+	if p, ok := permPool.Get().(*[]int); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int, n)
+}
+
+func putPerm(p []int) {
+	if cap(p) == 0 {
+		return
+	}
+	permPool.Put(&p)
+}
+
 // scaleInvRows overwrites r with diag(d)^{-1} * r, guarding exact zeros
-// (a structurally singular slice product would produce a zero pivot).
+// (a structurally singular slice product would produce a zero pivot). The
+// inverse diagonal lives in pooled scratch — this runs in the innermost
+// stratification loop.
 func scaleInvRows(r *mat.Dense, d []float64) {
-	inv := make([]float64, len(d))
+	inv := getVec(len(d))
 	for i, v := range d {
 		if v == 0 {
 			inv[i] = 0
@@ -53,6 +103,7 @@ func scaleInvRows(r *mat.Dense, d []float64) {
 		}
 	}
 	r.ScaleRows(inv)
+	putVec(inv)
 }
 
 // permuteColsGather writes dst[:, j] = src[:, perm[j]].
@@ -91,85 +142,112 @@ func StratifyPrePivot(bs []*mat.Dense) *UDT {
 	return stratify(bs, false)
 }
 
+// initUDT seeds u with the decomposition of a single matrix b:
+// B = Q R P^T with column pivoting (there is no grading to exploit yet, so
+// Algorithm 2 and 3 share this step); D = diag(R), T = D^{-1} R P^T.
+// work and r are n x n scratch (work is overwritten by the factorization).
+func initUDT(u *UDT, b *mat.Dense, work, r *mat.Dense) {
+	n := b.Rows
+	work.CopyFrom(b)
+	qr, jpvt := lapack.QRPFactor(work)
+	qr.RInto(r)
+	r.Diagonal(u.D)
+	scaleInvRows(r, u.D)
+	// T = (D^{-1} R) P^T: column j of D^{-1}R came from original column
+	// jpvt[j], so scatter it back there. Every column is written, so a
+	// dirty T buffer is fine.
+	for j := 0; j < n; j++ {
+		copy(u.T.Col(jpvt[j]), r.Col(j))
+	}
+	qr.FormQ(u.Q)
+	atomic.AddInt64(&udtSteps, 1)
+}
+
+// extendUDT absorbs one more matrix into the decomposition from the left:
+// u <- UDT of (b * Q D T). This is the per-cluster step 3 of the
+// stratification algorithms; pivotEveryStep selects Algorithm 2 (QRP) vs
+// Algorithm 3 (descending-norm pre-pivot + blocked QR). work, r and tNew
+// are n x n scratch.
+func extendUDT(u *UDT, b *mat.Dense, pivotEveryStep bool, work, r, tNew *mat.Dense) {
+	// Step 3a: C = (B Q) D. The parenthesization is essential: B * Q is a
+	// product of well-scaled matrices, and the graded D enters only as a
+	// final column scaling.
+	blas.Gemm(false, false, 1, b, u.Q, 0, work)
+	work.ScaleCols(u.D)
+
+	var qr *lapack.QR
+	var perm []int
+	if pivotEveryStep {
+		qr, perm = lapack.QRPFactor(work)
+	} else {
+		// Algorithm 3 step 3b: pre-pivot by descending column norm.
+		perm = descendingNormPerm(work)
+		permuteColsGather(tNew, work, perm) // tNew used as scratch here
+		work.CopyFrom(tNew)
+		qr = lapack.QRFactor(work)
+	}
+	qr.RInto(r)
+	r.Diagonal(u.D)
+	scaleInvRows(r, u.D)
+	// Step 3c/3d: T = (D^{-1} R) (P^T T_prev).
+	permuteRowsGather(tNew, u.T, perm)
+	blas.Gemm(false, false, 1, r, tNew, 0, u.T)
+	qr.FormQ(u.Q)
+	putPerm(perm)
+	atomic.AddInt64(&udtSteps, 1)
+}
+
+// stratifyInto runs the full chain through u, whose Q/D/T must be
+// preallocated n x n / n; every temporary comes from the scratch pool.
+func stratifyInto(u *UDT, bs []*mat.Dense, pivotEveryStep bool) {
+	if len(bs) == 0 {
+		panic("greens: empty matrix chain")
+	}
+	n := bs[0].Rows
+	work := mat.GetScratch(n, n)
+	r := mat.GetScratch(n, n)
+	tNew := mat.GetScratch(n, n)
+	defer func() {
+		mat.PutScratch(work)
+		mat.PutScratch(r)
+		mat.PutScratch(tNew)
+	}()
+	initUDT(u, bs[0], work, r)
+	for i := 1; i < len(bs); i++ {
+		extendUDT(u, bs[i], pivotEveryStep, work, r, tNew)
+	}
+}
+
 func stratify(bs []*mat.Dense, pivotEveryStep bool) *UDT {
 	if len(bs) == 0 {
 		panic("greens: empty matrix chain")
 	}
 	n := bs[0].Rows
-
-	// Q, D, T escape in the returned UDT; every other n x n temporary is
-	// recycled through the scratch pool across calls.
-	c := mat.GetScratch(n, n)
-	r := mat.GetScratch(n, n)
-	ci := mat.GetScratch(n, n)
-	tNew := mat.GetScratch(n, n)
-	defer func() {
-		mat.PutScratch(c)
-		mat.PutScratch(r)
-		mat.PutScratch(ci)
-		mat.PutScratch(tNew)
-	}()
-
-	// Step 1-2: B_1 = Q_1 R_1 P_1^T; D_1 = diag(R_1); T_1 = D_1^{-1} R_1 P_1^T.
-	c.CopyFrom(bs[0])
-	qr, jpvt := lapack.QRPFactor(c)
-	d := make([]float64, n)
-	qr.RInto(r)
-	r.Diagonal(d)
-	scaleInvRows(r, d)
-	t := mat.New(n, n)
-	// T_1 = (D^{-1} R) P^T: column j of D^{-1}R came from original column
-	// jpvt[j], so scatter it back there.
-	for j := 0; j < n; j++ {
-		copy(t.Col(jpvt[j]), r.Col(j))
-	}
-	q := mat.New(n, n)
-	qr.FormQ(q)
-
-	for i := 1; i < len(bs); i++ {
-		// Step 3a: C_i = (B_i Q_{i-1}) D_{i-1}. The parenthesization is
-		// essential: B_i * Q is a product of well-scaled matrices, and the
-		// graded D enters only as a final column scaling.
-		blas.Gemm(false, false, 1, bs[i], q, 0, ci)
-		ci.ScaleCols(d)
-
-		var perm []int
-		if pivotEveryStep {
-			qr, perm = lapack.QRPFactor(ci)
-		} else {
-			// Algorithm 3 step 3b: pre-pivot by descending column norm.
-			perm = descendingNormPerm(ci)
-			permuteColsGather(tNew, ci, perm) // tNew used as scratch here
-			ci.CopyFrom(tNew)
-			qr = lapack.QRFactor(ci)
-		}
-		qr.RInto(r)
-		r.Diagonal(d)
-		scaleInvRows(r, d)
-		// Step 3c/3d: T_i = (D_i^{-1} R_i) (P_i^T T_{i-1}).
-		permuteRowsGather(tNew, t, perm)
-		blas.Gemm(false, false, 1, r, tNew, 0, t)
-		qr.FormQ(q)
-	}
-	return &UDT{Q: q, D: d, T: t}
+	// Q, D, T escape in the returned UDT.
+	u := &UDT{Q: mat.New(n, n), D: make([]float64, n), T: mat.New(n, n)}
+	stratifyInto(u, bs, pivotEveryStep)
+	return u
 }
 
 // descendingNormPerm returns the permutation that sorts the columns of c by
 // descending Euclidean norm. The norms are computed in parallel — the paper
 // notes the BLAS-level loop has too little work per column and implements
-// exactly this multicore reduction in OpenMP.
+// exactly this multicore reduction in OpenMP. The returned slice comes from
+// the pool; release it with putPerm when done.
 func descendingNormPerm(c *mat.Dense) []int {
-	norms := lapack.ColumnNorms(c, nil)
-	perm := make([]int, len(norms))
+	norms := lapack.ColumnNorms(c, getVec(c.Cols))
+	perm := getPerm(len(norms))
 	for i := range perm {
 		perm[i] = i
 	}
 	sort.SliceStable(perm, func(a, b int) bool { return norms[perm[a]] > norms[perm[b]] })
+	putVec(norms)
 	return perm
 }
 
-// GreenFromUDT forms G = (I + Q D T)^{-1} through the stabilized final
-// step of the stratification algorithms. Writing D = D_b^{-1} D_s with
+// GreenFromUDTInto forms G = (I + Q D T)^{-1} into dst through the
+// stabilized final step of the stratification algorithms. Writing
+// D = D_b^{-1} D_s with
 //
 //	D_b(i) = 1/|D(i)| if |D(i)| > 1, else 1   (inverse "big" part)
 //	D_s(i) = sgn(D(i)) if |D(i)| > 1, else D(i) ("small" part)
@@ -180,10 +258,10 @@ func descendingNormPerm(c *mat.Dense) []int {
 //
 // a solve whose matrix mixes only O(1)-sized entries. This is algebraically
 // the paper's step 4 in the form of Bai, Lee, Li and Xu (2010).
-func GreenFromUDT(u *UDT) *mat.Dense {
+func GreenFromUDTInto(dst *mat.Dense, u *UDT) {
 	n := u.Q.Rows
-	db := make([]float64, n)
-	ds := make([]float64, n)
+	db := getVec(n)
+	ds := getVec(n)
 	for i, v := range u.D {
 		if a := math.Abs(v); a > 1 {
 			db[i] = 1 / a
@@ -201,7 +279,7 @@ func GreenFromUDT(u *UDT) *mat.Dense {
 	m.CopyFrom(u.T)
 	m.ScaleRows(ds)
 	m.Add(1, qt)
-	g := qt.Clone()
+	dst.CopyFrom(qt)
 	lu, err := lapack.LUFactor(m)
 	if err != nil {
 		// A singular M means the configuration has a genuinely singular
@@ -209,9 +287,17 @@ func GreenFromUDT(u *UDT) *mat.Dense {
 		// behaviour. (Never observed for physical parameters.)
 		_ = err
 	}
-	lu.Solve(g)
+	lu.Solve(dst)
 	mat.PutScratch(qt)
 	mat.PutScratch(m)
+	putVec(db)
+	putVec(ds)
+}
+
+// GreenFromUDT is GreenFromUDTInto with a freshly allocated result.
+func GreenFromUDT(u *UDT) *mat.Dense {
+	g := mat.New(u.Q.Rows, u.Q.Rows)
+	GreenFromUDTInto(g, u)
 	return g
 }
 
@@ -236,6 +322,18 @@ func (u *UDT) OrthoError() float64 {
 // Green evaluates G = (I + bs[last] ... bs[0])^{-1} with Algorithm 3
 // (the production path). Use GreenQRP for the Algorithm 2 reference.
 func Green(bs []*mat.Dense) *mat.Dense { return GreenFromUDT(StratifyPrePivot(bs)) }
+
+// GreenInto is Green writing into dst, with the intermediate UDT factors
+// drawn from the scratch pool (nothing escapes).
+func GreenInto(dst *mat.Dense, bs []*mat.Dense, prePivot bool) {
+	n := bs[0].Rows
+	u := &UDT{Q: mat.GetScratch(n, n), D: getVec(n), T: mat.GetScratch(n, n)}
+	stratifyInto(u, bs, !prePivot)
+	GreenFromUDTInto(dst, u)
+	mat.PutScratch(u.Q)
+	mat.PutScratch(u.T)
+	putVec(u.D)
+}
 
 // GreenQRP evaluates the same Green's function with Algorithm 2.
 func GreenQRP(bs []*mat.Dense) *mat.Dense { return GreenFromUDT(StratifyQRP(bs)) }

@@ -137,6 +137,51 @@ func (cb *Checkerboard) ApplyLeftInv(a *mat.Dense) {
 	}
 }
 
+// ApplyRight overwrites a with a * B_cb. Right-multiplying by one bond
+// group mixes column pairs (the groups are symmetric), so the groups apply
+// in forward order — the mirror image of ApplyLeft. Cost O(N * a.Rows).
+func (cb *Checkerboard) ApplyRight(a *mat.Dense) {
+	if a.Cols != cb.n {
+		panic("hubbard: checkerboard dimension mismatch")
+	}
+	for _, grp := range cb.groups {
+		for _, b := range grp {
+			ci := a.Col(b.i)
+			cj := a.Col(b.j)
+			for r := range ci {
+				vi, vj := ci[r], cj[r]
+				ci[r] = b.cosh*vi + b.sinh*vj
+				cj[r] = b.sinh*vi + b.cosh*vj
+			}
+		}
+	}
+	if cb.expMu != 1 {
+		a.Scale(cb.expMu)
+	}
+}
+
+// ApplyRightInv overwrites a with a * B_cb^{-1} (groups in reverse order
+// with the hyperbolic rotation inverted).
+func (cb *Checkerboard) ApplyRightInv(a *mat.Dense) {
+	if a.Cols != cb.n {
+		panic("hubbard: checkerboard dimension mismatch")
+	}
+	if cb.expMu != 1 {
+		a.Scale(1 / cb.expMu)
+	}
+	for g := len(cb.groups) - 1; g >= 0; g-- {
+		for _, b := range cb.groups[g] {
+			ci := a.Col(b.i)
+			cj := a.Col(b.j)
+			for r := range ci {
+				vi, vj := ci[r], cj[r]
+				ci[r] = b.cosh*vi - b.sinh*vj
+				cj[r] = -b.sinh*vi + b.cosh*vj
+			}
+		}
+	}
+}
+
 // Materialize forms the dense matrix of the checkerboard propagator.
 func (cb *Checkerboard) Materialize() *mat.Dense {
 	m := mat.Identity(cb.n)
@@ -165,6 +210,7 @@ func NewPropagatorCheckerboard(m *Model) (*Propagator, error) {
 		Model: m,
 		Bkin:  cb.Materialize(),
 		Binv:  cb.MaterializeInv(),
+		CB:    cb,
 		expNu: [2]float64{math.Exp(m.Nu), math.Exp(-m.Nu)},
 	}, nil
 }

@@ -1,0 +1,87 @@
+package hubbard
+
+import (
+	"testing"
+
+	"questgo/internal/blas"
+	"questgo/internal/lattice"
+	"questgo/internal/mat"
+)
+
+func rightTestMatrix(rows, cols int) *mat.Dense {
+	a := mat.New(rows, cols)
+	for j := 0; j < cols; j++ {
+		col := a.Col(j)
+		for i := range col {
+			col[i] = float64((i*13+j*7)%17-8) / 9
+		}
+	}
+	return a
+}
+
+func TestCheckerboardApplyRightMatchesMaterialize(t *testing.T) {
+	lat := lattice.NewMultilayer(4, 4, 2, 1, 0.5)
+	cb, err := NewCheckerboard(lat, 0.3, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := lat.N()
+	bm := cb.Materialize()
+	a := rightTestMatrix(5, n)
+	want := mat.New(5, n)
+	blas.Gemm(false, false, 1, a, bm, 0, want)
+	cb.ApplyRight(a)
+	if !a.EqualApprox(want, 1e-12) {
+		t.Fatal("ApplyRight disagrees with materialized product")
+	}
+}
+
+func TestCheckerboardApplyRightInvMatchesMaterialize(t *testing.T) {
+	lat := lattice.NewSquare(4, 4, 1)
+	cb, err := NewCheckerboard(lat, -0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := lat.N()
+	binv := cb.MaterializeInv()
+	a := rightTestMatrix(n, n)
+	want := mat.New(n, n)
+	blas.Gemm(false, false, 1, a, binv, 0, want)
+	cb.ApplyRightInv(a)
+	if !a.EqualApprox(want, 1e-12) {
+		t.Fatal("ApplyRightInv disagrees with materialized product")
+	}
+}
+
+func TestCheckerboardApplyRightRoundTrip(t *testing.T) {
+	lat := lattice.NewSquare(6, 6, 1)
+	cb, err := NewCheckerboard(lat, 0.1, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rightTestMatrix(lat.N(), lat.N())
+	orig := a.Clone()
+	cb.ApplyRight(a)
+	cb.ApplyRightInv(a)
+	if !a.EqualApprox(orig, 1e-12) {
+		t.Fatal("ApplyRight then ApplyRightInv did not return the original")
+	}
+}
+
+func TestCheckerboardPropagatorSetsCB(t *testing.T) {
+	lat := lattice.NewSquare(4, 4, 1)
+	m, err := NewModel(lat, 4, 0.1, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPropagatorCheckerboard(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CB == nil {
+		t.Fatal("NewPropagatorCheckerboard did not expose the checkerboard factorization")
+	}
+	if NewPropagator(m).CB != nil {
+		t.Fatal("exact propagator must not carry a checkerboard factorization")
+	}
+}

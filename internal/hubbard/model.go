@@ -103,7 +103,13 @@ func (f *Field) Clone() *Field {
 type Propagator struct {
 	Model      *Model
 	Bkin, Binv *mat.Dense
-	expNu      [2]float64 // e^{+nu}, e^{-nu} for h = +1/-1 at sigma = +1
+	// CB, when non-nil, is the checkerboard factorization Bkin/Binv were
+	// materialized from (NewPropagatorCheckerboard). Consumers with an
+	// O(N^2) sparse-apply fast path (greens.Wrapper) use it in place of
+	// dense GEMMs against Bkin/Binv; the dense matrices stay valid for
+	// every other code path.
+	CB    *Checkerboard
+	expNu [2]float64 // e^{+nu}, e^{-nu} for h = +1/-1 at sigma = +1
 }
 
 // NewPropagator builds the kinetic propagators for the model.

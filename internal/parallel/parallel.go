@@ -83,6 +83,38 @@ func ForDynamic(n, grain int, body func(i int)) {
 	t.release()
 }
 
+// Pair runs a and b concurrently when an idle pool worker is available and
+// serially (a then b) otherwise, returning when both are done. It is the
+// fork primitive of the spin-parallel sweep: the up and down spin sectors
+// of the DQMC update are independent between Metropolis decisions, so their
+// heavy phases (wrapping, delayed-update flushes, cluster rebuilds,
+// stratified refreshes) fork here. Nested parallelism is safe for the same
+// reason it is in For: a busy pool degrades to serial execution on the
+// caller, and any parallel kernels inside a or b enlist whatever workers
+// remain idle. A steady-state call performs no allocation.
+func Pair(a, b func()) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		a()
+		b()
+		return
+	}
+	ensureWorkers(1)
+	t := pairPool.Get().(*pairTask)
+	t.b = b
+	t.wg.Add(1)
+	select {
+	case workCh <- t:
+		a()
+		t.wg.Wait()
+	default:
+		t.wg.Done()
+		a()
+		b()
+	}
+	t.b = nil
+	pairPool.Put(t)
+}
+
 // ReduceSum computes the sum of f(i) for i in [0, n) in parallel. The
 // addition order depends on the chunking, so results can differ from the
 // serial sum by floating-point roundoff.

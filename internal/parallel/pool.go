@@ -27,6 +27,14 @@ import (
 	"sync/atomic"
 )
 
+// task is what the persistent workers execute: run performs the work (or a
+// share of it), finish signals the submitter. Implemented by loopTask
+// (chunk-claiming loops) and pairTask (two-closure forks).
+type task interface {
+	run()
+	finish()
+}
+
 // loopTask describes one parallel loop in flight. The submitting goroutine
 // and any helping workers share it by pointer and claim [lo, hi) chunks via
 // atomic adds on next.
@@ -39,11 +47,13 @@ type loopTask struct {
 	wg    sync.WaitGroup
 }
 
+func (t *loopTask) finish() { t.wg.Done() }
+
 var taskPool = sync.Pool{New: func() interface{} { return new(loopTask) }}
 
-// workCh hands loop tasks to the persistent workers. Unbuffered on purpose;
+// workCh hands tasks to the persistent workers. Unbuffered on purpose;
 // see the package comment above.
-var workCh = make(chan *loopTask)
+var workCh = make(chan task)
 
 // spawned counts the persistent workers started so far. Workers are started
 // lazily on first parallel use and never exit; GOMAXPROCS caps how many are
@@ -65,7 +75,7 @@ func ensureWorkers(want int) {
 func worker() {
 	for t := range workCh {
 		t.run()
-		t.wg.Done()
+		t.finish()
 	}
 }
 
@@ -115,3 +125,14 @@ func (t *loopTask) release() {
 	t.body, t.each = nil, nil
 	taskPool.Put(t)
 }
+
+// pairTask carries the second closure of a Pair fork to a worker.
+type pairTask struct {
+	b  func()
+	wg sync.WaitGroup
+}
+
+func (t *pairTask) run()    { t.b() }
+func (t *pairTask) finish() { t.wg.Done() }
+
+var pairPool = sync.Pool{New: func() interface{} { return new(pairTask) }}

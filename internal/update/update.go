@@ -3,6 +3,22 @@
 // determinant ratio computed from the equal-time Green's function, with the
 // rank-1 updates *delayed* into blocked rank-nd updates so the O(N^3) of
 // update work per slice runs at GEMM speed instead of GER speed.
+//
+// Two optimizations sit on top of the paper's Algorithm 1:
+//
+//   - The per-boundary stratified refresh goes through greens.StratStack,
+//     which caches suffix UDT decompositions (built once per sweep) and
+//     extends a prefix UDT by one cluster per boundary, so each refresh
+//     costs O(1) cluster-UDT steps instead of re-running the whole
+//     L/k-cluster chain. Options.NoStack restores the full-rebuild
+//     reference path.
+//   - The heavy per-spin phases — wrapping, delayed-update flushes,
+//     cluster recomputation, stratified refreshes, and the column/row
+//     assembly of accepted flips — are independent between the up and down
+//     sectors and fork onto the parallel pool (parallel.Pair). Only the
+//     per-site Metropolis ratio, which needs both spins' effective
+//     diagonal, stays synchronous. Options.SerialSpins restores the serial
+//     ordering.
 package update
 
 import (
@@ -10,6 +26,7 @@ import (
 	"questgo/internal/greens"
 	"questgo/internal/hubbard"
 	"questgo/internal/mat"
+	"questgo/internal/parallel"
 	"questgo/internal/profile"
 	"questgo/internal/rng"
 )
@@ -97,6 +114,12 @@ func (s *spinState) flush() {
 	s.m = 0
 }
 
+// accept assembles and queues the rank-1 update for an accepted flip.
+func (s *spinState) accept(i int, factor float64) {
+	s.effColRow(i)
+	s.push(i, factor)
+}
+
 // Options configures a Sweeper.
 type Options struct {
 	// ClusterK is the matrix clustering size k, which also sets the
@@ -108,6 +131,15 @@ type Options struct {
 	// PrePivot selects Algorithm 3 (true, the paper's method) or the
 	// Algorithm 2 QRP reference (false) for stratified recomputations.
 	PrePivot bool
+	// NoStack disables the prefix/suffix UDT stack and recomputes every
+	// boundary Green's function by full stratification of the cluster
+	// chain — the pre-stack reference path, kept for accuracy
+	// cross-checks and baseline benchmarks.
+	NoStack bool
+	// SerialSpins disables the concurrent execution of the up/down spin
+	// phases (reference/baseline path; the arithmetic is identical either
+	// way).
+	SerialSpins bool
 	// Prof, when non-nil, accumulates the Table-I phase timings.
 	Prof *profile.Profile
 }
@@ -124,10 +156,28 @@ type Sweeper struct {
 	up, dn   *spinState
 	csUp     *greens.ClusterSet
 	csDn     *greens.ClusterSet
-	wrapper  *greens.Wrapper
+	stUp     *greens.StratStack
+	stDn     *greens.StratStack
+	wrapUp   *greens.Wrapper // per-spin wrappers: scratch must not be shared
+	wrapDn   *greens.Wrapper // when the spin phases fork onto the pool
 	sign     float64
 	accepted int64
 	proposed int64
+
+	// Pre-bound closures for the spin fork, so the per-site and per-slice
+	// hot paths allocate nothing; the operands live in the fields below.
+	wrapUpFn, wrapDnFn     func()
+	flushUpFn, flushDnFn   func()
+	acceptUpFn, acceptDnFn func()
+	clusterUpFn, clusterDn func()
+	refreshUpFn, refreshDn func()
+	advanceUpFn, advanceDn func()
+	wrapSlice              int     // slice for wrapXFn
+	flipSite               int     // site for acceptXFn
+	facUp, facDn           float64 // alpha/d factors for acceptXFn
+	cluster                int     // cluster for clusterXFn
+	boundary               int     // boundary for refreshXFn (reference path)
+
 	// boundaryHook, when set, runs after every stratified refresh (i.e. at
 	// every cluster boundary) with the Green's functions freshly
 	// recomputed — the natural place for equal-time measurements, which
@@ -168,24 +218,69 @@ func NewSweeper(p *hubbard.Propagator, f *hubbard.Field, r *rng.Rand, opts Optio
 	sw.csUp = greens.NewClusterSet(p, f, hubbard.Up, opts.ClusterK)
 	sw.csDn = greens.NewClusterSet(p, f, hubbard.Down, opts.ClusterK)
 	done()
-	sw.wrapper = greens.NewWrapper(p)
-	sw.refresh(0)
+	sw.wrapUp = greens.NewWrapper(p)
+	sw.wrapDn = greens.NewWrapper(p)
+	if !opts.NoStack {
+		sdone := opts.Prof.Track(profile.Stratification)
+		sw.stUp = greens.NewStratStack(sw.csUp, opts.PrePivot)
+		sw.stDn = greens.NewStratStack(sw.csDn, opts.PrePivot)
+		sdone()
+	}
+
+	sw.wrapUpFn = func() { sw.wrapUp.Wrap(sw.up.g, sw.Field, hubbard.Up, sw.wrapSlice) }
+	sw.wrapDnFn = func() { sw.wrapDn.Wrap(sw.dn.g, sw.Field, hubbard.Down, sw.wrapSlice) }
+	sw.flushUpFn = func() { sw.up.flush() }
+	sw.flushDnFn = func() { sw.dn.flush() }
+	sw.acceptUpFn = func() { sw.up.accept(sw.flipSite, sw.facUp) }
+	sw.acceptDnFn = func() { sw.dn.accept(sw.flipSite, sw.facDn) }
+	sw.clusterUpFn = func() { sw.csUp.Recompute(sw.Field, sw.cluster) }
+	sw.clusterDn = func() { sw.csDn.Recompute(sw.Field, sw.cluster) }
+	sw.refreshUpFn = func() { sw.refreshSpin(sw.up, sw.csUp, sw.stUp, true) }
+	sw.refreshDn = func() { sw.refreshSpin(sw.dn, sw.csDn, sw.stDn, false) }
+	if !opts.NoStack {
+		sw.advanceUpFn = func() { sw.stUp.Advance() }
+		sw.advanceDn = func() { sw.stDn.Advance() }
+	}
+
+	sw.refresh()
 	return sw
 }
 
-// refresh recomputes both Green's functions by stratification at cluster
-// boundary c and records the drift of the wrapped copies.
-func (sw *Sweeper) refresh(c int) {
-	defer sw.opts.Prof.Track(profile.Stratification)()
-	gUp := sw.csUp.GreenAt(c, sw.opts.PrePivot)
-	gDn := sw.csDn.GreenAt(c, sw.opts.PrePivot)
-	if sw.up.g != nil && sw.proposed > 0 {
-		if d := mat.RelDiff(sw.up.g, gUp); d > sw.maxWrapDrift {
+// fork runs the two per-spin closures through the pool, or serially when
+// the sweeper was configured with SerialSpins.
+func (sw *Sweeper) fork(up, dn func()) {
+	if sw.opts.SerialSpins {
+		up()
+		dn()
+		return
+	}
+	parallel.Pair(up, dn)
+}
+
+// refreshSpin recomputes one spin's Green's function by stratification at
+// the current boundary and records the drift of the wrapped copy (spin-up
+// only, matching the original diagnostic).
+func (sw *Sweeper) refreshSpin(s *spinState, cs *greens.ClusterSet, st *greens.StratStack, trackDrift bool) {
+	n := s.g.Rows
+	gNew := mat.GetScratch(n, n)
+	if st != nil {
+		st.GreenInto(gNew)
+	} else {
+		cs.GreenAtInto(gNew, sw.boundary, sw.opts.PrePivot)
+	}
+	if trackDrift && sw.proposed > 0 {
+		if d := mat.RelDiff(s.g, gNew); d > sw.maxWrapDrift {
 			sw.maxWrapDrift = d
 		}
 	}
-	sw.up.g.CopyFrom(gUp)
-	sw.dn.g.CopyFrom(gDn)
+	s.g.CopyFrom(gNew)
+	mat.PutScratch(gNew)
+}
+
+// refresh recomputes both Green's functions at the current boundary.
+func (sw *Sweeper) refresh() {
+	defer sw.opts.Prof.Track(profile.Stratification)()
+	sw.fork(sw.refreshUpFn, sw.refreshDn)
 }
 
 // SetBoundaryHook registers h to run after every stratified refresh, when
@@ -204,25 +299,32 @@ func (sw *Sweeper) Sweep() {
 	for s := 0; s < model.L; s++ {
 		// Wrap both spins into slice s: G <- B_s G B_s^{-1}.
 		wdone := sw.opts.Prof.Track(profile.Wrapping)
-		sw.wrapper.Wrap(sw.up.g, sw.Field, hubbard.Up, s)
-		sw.wrapper.Wrap(sw.dn.g, sw.Field, hubbard.Down, s)
+		sw.wrapSlice = s
+		sw.fork(sw.wrapUpFn, sw.wrapDnFn)
 		wdone()
 
 		udone := sw.opts.Prof.Track(profile.DelayedUpdate)
 		for i := 0; i < n; i++ {
 			sw.proposeFlip(s, i)
 		}
-		sw.up.flush()
-		sw.dn.flush()
+		sw.fork(sw.flushUpFn, sw.flushDnFn)
 		udone()
 
 		if (s+1)%k == 0 {
 			c := s / k
 			cdone := sw.opts.Prof.Track(profile.Clustering)
-			sw.csUp.Recompute(sw.Field, c)
-			sw.csDn.Recompute(sw.Field, c)
+			sw.cluster = c
+			sw.fork(sw.clusterUpFn, sw.clusterDn)
 			cdone()
-			sw.refresh((c + 1) % sw.csUp.NC)
+			if sw.stUp != nil {
+				// One prefix extension per boundary; GreenInto (inside
+				// refresh) combines it with the cached suffix.
+				sdone := sw.opts.Prof.Track(profile.Stratification)
+				sw.fork(sw.advanceUpFn, sw.advanceDn)
+				sdone()
+			}
+			sw.boundary = (c + 1) % sw.csUp.NC
+			sw.refresh()
 			if sw.boundaryHook != nil {
 				sw.boundaryHook()
 			}
@@ -246,19 +348,18 @@ func (sw *Sweeper) proposeFlip(s, i int) {
 	if ar < 1 && sw.Rng.Float64() >= ar {
 		return
 	}
-	// Accepted.
+	// Accepted: the two spins' column/row assembly is independent.
 	sw.accepted++
 	if r < 0 {
 		sw.sign = -sw.sign
 	}
-	sw.up.effColRow(i)
-	sw.up.push(i, aUp/dUp)
-	sw.dn.effColRow(i)
-	sw.dn.push(i, aDn/dDn)
+	sw.flipSite = i
+	sw.facUp = aUp / dUp
+	sw.facDn = aDn / dDn
+	sw.fork(sw.acceptUpFn, sw.acceptDnFn)
 	sw.Field.Flip(s, i)
 	if sw.up.m == sw.opts.Delay {
-		sw.up.flush()
-		sw.dn.flush()
+		sw.fork(sw.flushUpFn, sw.flushDnFn)
 	}
 }
 

@@ -6,10 +6,17 @@ set -e
 cd "$(dirname "$0")"
 mkdir -p results
 
-echo "== Verify: vet, race tests, kernel regression bench"
+if [ "${PAPER_SCALE:-0}" = "1" ]; then
+    BSIZES=${BSIZES:-8,12,16,20,24}
+else
+    BSIZES=${BSIZES:-8,12,16}
+fi
+
+echo "== Verify: vet, race tests, kernel + sweep regression bench"
 go vet ./...
-go test -race ./internal/parallel/ ./internal/blas/
+go test -race ./internal/parallel/ ./internal/blas/ ./internal/update/ ./internal/greens/
 go run ./cmd/kernels -sizes 64,128,256,512,1024 -reps 2 -json BENCH_gemm.json
+go run ./cmd/sweep -json BENCH_sweep.json -bsizes $BSIZES -bsweeps 2
 
 if [ "${PAPER_SCALE:-0}" = "1" ]; then
     KSIZES=128,256,384,512,768,1024
