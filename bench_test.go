@@ -25,6 +25,7 @@ import (
 	"questgo/internal/lattice"
 	"questgo/internal/mat"
 	"questgo/internal/measure"
+	"questgo/internal/obs"
 	"questgo/internal/profile"
 	"questgo/internal/rng"
 	"questgo/internal/stats"
@@ -305,22 +306,23 @@ func BenchmarkFig08_FullSweep(b *testing.B) {
 
 // ---------------------------------------------------------------- Table I
 
-// BenchmarkTableI_PhaseProfile runs sweeps under the phase profiler and
+// BenchmarkTableI_PhaseProfile runs sweeps under the metrics collector and
 // reports each Table I row as a metric (percent of total time).
 func BenchmarkTableI_PhaseProfile(b *testing.B) {
 	prop, field := benchSetup(b, 8, 2, 3, 24)
-	prof := profile.New()
-	sw := update.NewSweeper(prop, field, rng.New(6), update.Options{ClusterK: 8, Prof: prof})
+	col := obs.New()
+	sw := update.NewSweeper(prop, field, rng.New(6), update.Options{ClusterK: 8, Obs: col})
 	lat := prop.Model.Lat
+	col.Reset()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sw.Sweep()
-		done := prof.Track(profile.Measurement)
+		mstart := col.Begin()
 		measurePkg(lat, sw)
-		done()
+		col.End(obs.PhaseMeasure, mstart)
 	}
 	b.StopTimer()
-	pc := prof.Percentages()
+	pc := profile.FromPhases(col.PhaseDurations()).Percentages()
 	b.ReportMetric(pc[profile.DelayedUpdate], "%delayed")
 	b.ReportMetric(pc[profile.Stratification], "%stratify")
 	b.ReportMetric(pc[profile.Clustering], "%cluster")

@@ -7,7 +7,11 @@
 //
 //	dqmc [-in run.in] [-nx 4] [-ny 4] [-layers 1] [-u 4] [-mu 0]
 //	     [-beta 2] [-l 10] [-warm 50] [-meas 100] [-k 10] [-seed 1]
-//	     [-prepivot] [-progress]
+//	     [-prepivot] [-progress] [-stability 8] [-json out.json]
+//
+// Interrupting a run (SIGINT/SIGTERM) stops it at the next sweep boundary;
+// with -checkpoint set the Markov-chain state is saved there so the run can
+// continue with -resume.
 //
 // Example input file:
 //
@@ -21,11 +25,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"questgo"
+	"questgo/internal/profile"
 )
 
 func main() {
@@ -46,10 +55,13 @@ func main() {
 	qrp := flag.Bool("qrp", false, "use Algorithm 2 (QRP) instead of pre-pivoting")
 	dynamics := flag.Bool("dynamics", false, "measure time-displaced G(d,tau) as well")
 	progress := flag.Bool("progress", false, "print per-sweep progress")
-	jsonOut := flag.String("json", "", "also write results as JSON to this file")
+	stability := flag.Int("stability", 0, "sample the stack-vs-rebuild residual every N cluster boundaries (0 = off)")
+	jsonOut := flag.String("json", "", "also write results (with phase metrics) as JSON to this file")
 	walkers := flag.Int("walkers", 1, "independent parallel Markov chains to merge")
-	ckptOut := flag.String("checkpoint", "", "write a restart file here after the run")
+	ckptOut := flag.String("checkpoint", "", "write a restart file here after the run (or on interrupt)")
 	resume := flag.String("resume", "", "resume the Markov chain from this restart file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	cfg := questgo.DefaultConfig()
@@ -57,103 +69,154 @@ func main() {
 		var err error
 		cfg, err = questgo.LoadConfig(*in)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dqmc:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
-	if *nx > 0 {
-		cfg.Nx = *nx
-	}
-	if *ny > 0 {
-		cfg.Ny = *ny
+	// Command-line overrides on top of the file, via the validated builder.
+	var opts []questgo.ConfigOption
+	if *nx > 0 || *ny > 0 {
+		ox, oy := cfg.Nx, cfg.Ny
+		if *nx > 0 {
+			ox = *nx
+		}
+		if *ny > 0 {
+			oy = *ny
+		}
+		opts = append(opts, questgo.WithLattice(ox, oy))
 	}
 	if *layers > 0 {
-		cfg.Layers = *layers
+		tp := cfg.Tperp
+		if *tperp >= 0 {
+			tp = *tperp
+		}
+		opts = append(opts, questgo.WithLayers(*layers, tp))
+	} else if *tperp >= 0 {
+		opts = append(opts, questgo.WithLayers(cfg.Layers, *tperp))
 	}
-	if *tperp >= 0 {
-		cfg.Tperp = *tperp
+	if *u >= 0 || *setMu {
+		ou, om := cfg.U, cfg.Mu
+		if *u >= 0 {
+			ou = *u
+		}
+		if *setMu {
+			om = *mu
+		}
+		opts = append(opts, questgo.WithInteraction(ou, om))
 	}
-	if *u >= 0 {
-		cfg.U = *u
+	if *beta > 0 || *l > 0 {
+		ob, ol := cfg.Beta, cfg.L
+		if *beta > 0 {
+			ob = *beta
+		}
+		if *l > 0 {
+			ol = *l
+		}
+		opts = append(opts, questgo.WithTemperature(ob, ol))
 	}
-	if *setMu {
-		cfg.Mu = *mu
-	}
-	if *beta > 0 {
-		cfg.Beta = *beta
-	}
-	if *l > 0 {
-		cfg.L = *l
-	}
-	if *warm >= 0 {
-		cfg.WarmSweeps = *warm
-	}
-	if *meas > 0 {
-		cfg.MeasSweeps = *meas
+	if *warm >= 0 || *meas > 0 {
+		ow, om := cfg.WarmSweeps, cfg.MeasSweeps
+		if *warm >= 0 {
+			ow = *warm
+		}
+		if *meas > 0 {
+			om = *meas
+		}
+		opts = append(opts, questgo.WithSchedule(ow, om))
 	}
 	if *k > 0 {
-		cfg.ClusterK = *k
+		opts = append(opts, questgo.WithClusterK(*k))
 	}
 	if *seed != 0 {
-		cfg.Seed = *seed
+		opts = append(opts, questgo.WithSeed(*seed))
 	}
 	if *qrp {
-		cfg.PrePivot = false
+		opts = append(opts, questgo.WithPrePivot(false))
 	}
 	if *dynamics {
-		cfg.MeasureDynamics = true
+		opts = append(opts, questgo.WithMeasureDynamics(true))
+	}
+	if *stability > 0 {
+		opts = append(opts, questgo.WithStabilityCheck(*stability))
+	}
+	cfg, err := cfg.With(opts...)
+	if err != nil {
+		fatal(err)
 	}
 
-	var sim *questgo.Simulation
-	var err error
-	if *resume != "" {
-		ck, lerr := questgo.LoadCheckpoint(*resume)
-		if lerr != nil {
-			fmt.Fprintln(os.Stderr, "dqmc:", lerr)
-			os.Exit(1)
+	if *cpuprofile != "" {
+		stop, err := profile.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fatal(err)
 		}
-		// Flags/input override the schedule for the continuation.
-		ck.Config.WarmSweeps = cfg.WarmSweeps
-		ck.Config.MeasSweeps = cfg.MeasSweeps
-		cfg = ck.Config
-		sim, err = questgo.Resume(ck)
-	} else {
-		sim, err = questgo.NewSimulation(cfg)
+		defer stop()
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dqmc:", err)
-		os.Exit(1)
+	if *tracePath != "" {
+		stop, err := profile.StartTrace(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
 	}
-	fmt.Printf("DQMC: %dx%dx%d sites, U=%g mu=%g beta=%g L=%d (dtau=%g), k=%d, prepivot=%v\n",
-		cfg.Nx, cfg.Ny, cfg.Layers, cfg.U, cfg.Mu, cfg.Beta, cfg.L,
-		cfg.Beta/float64(cfg.L), cfg.ClusterK, cfg.PrePivot)
-	fmt.Printf("Schedule: %d warmup + %d measurement sweeps, seed %d\n\n",
-		cfg.WarmSweeps, cfg.MeasSweeps, cfg.Seed)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	var cb func(questgo.Progress)
 	if *progress {
 		cb = func(p questgo.Progress) {
 			if p.Sweep%10 == 0 || p.Sweep == p.Total {
-				fmt.Fprintf(os.Stderr, "\r%s %d/%d", p.Stage, p.Sweep, p.Total)
+				fmt.Fprintf(os.Stderr, "\r%s %d/%d (%.1fs)", p.Stage, p.Sweep, p.Total, p.Wall.Seconds())
 				if p.Sweep == p.Total {
 					fmt.Fprintln(os.Stderr)
 				}
 			}
 		}
 	}
+
 	var res *questgo.Results
-	if *walkers > 1 {
-		if *resume != "" {
-			fmt.Fprintln(os.Stderr, "dqmc: -walkers cannot combine with -resume")
-			os.Exit(1)
+	var sim *questgo.Simulation
+	// Runs that must write a restart file (resume continuation, or
+	// -checkpoint on a single walker) keep the Simulation in hand so the
+	// final state can be saved on success as well as on interrupt; everything
+	// else goes through the unified Run entry point.
+	if *resume != "" || (*ckptOut != "" && *walkers <= 1) {
+		if *walkers > 1 {
+			fatal(errors.New("-walkers cannot combine with -resume"))
 		}
-		res, err = questgo.RunParallel(cfg, *walkers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dqmc:", err)
-			os.Exit(1)
+		if *resume != "" {
+			ck, lerr := questgo.LoadCheckpoint(*resume)
+			if lerr != nil {
+				fatal(lerr)
+			}
+			// Flags/input override the schedule for the continuation.
+			ck.Config.WarmSweeps = cfg.WarmSweeps
+			ck.Config.MeasSweeps = cfg.MeasSweeps
+			cfg = ck.Config
+			if sim, err = questgo.Resume(ck); err != nil {
+				fatal(err)
+			}
+		} else if sim, err = questgo.NewSimulation(cfg); err != nil {
+			fatal(err)
+		}
+		banner(cfg)
+		if res, err = sim.RunContext(ctx, cb); err != nil {
+			if *ckptOut != "" {
+				if serr := sim.Checkpoint().Save(*ckptOut); serr == nil {
+					fmt.Fprintf(os.Stderr, "dqmc: %v; checkpoint written to %s\n", err, *ckptOut)
+					os.Exit(1)
+				}
+			}
+			fatal(err)
 		}
 	} else {
-		res = sim.RunProgress(cb)
+		banner(cfg)
+		ropts := []questgo.RunOption{questgo.WithProgress(cb)}
+		if *walkers > 1 {
+			ropts = append(ropts, questgo.WithWalkers(*walkers))
+		}
+		if res, err = questgo.Run(ctx, cfg, ropts...); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Println("Observables (per site):")
@@ -168,6 +231,18 @@ func main() {
 	}
 	fmt.Printf("\nMonte Carlo: <sign> = %.4f, acceptance = %.3f, max wrap drift = %.2e\n",
 		res.AvgSign, res.Acceptance, res.MaxWrapDrift)
+	if m := res.Metrics; m != nil {
+		fmt.Printf("Phase metrics: wall %.1f ms", m.WallMS)
+		for _, ph := range [...]string{"wrap", "flush", "cluster", "refresh", "measure"} {
+			fmt.Printf(", %s %.1f ms", ph, m.PhaseMS[ph])
+		}
+		fmt.Printf(" (coverage %.0f%%)\n", 100*m.PhaseCoverage)
+		if m.Stability.StratResidualSamples > 0 {
+			fmt.Printf("Stability: strat residual max %.2e over %d checks, UDT cond max 1e%.1f\n",
+				m.Stability.MaxStratResidual, m.Stability.StratResidualSamples,
+				m.Stability.MaxUDTCondLog10)
+		}
+	}
 	if len(res.DisplacedTaus) > 0 {
 		fmt.Println("\nTime-displaced local Green's function:")
 		dtau := cfg.Beta / float64(cfg.L)
@@ -180,16 +255,27 @@ func main() {
 	fmt.Print(res.Prof.Table())
 	if *jsonOut != "" {
 		if err := res.SaveJSON(*jsonOut); err != nil {
-			fmt.Fprintln(os.Stderr, "dqmc: json:", err)
-			os.Exit(1)
+			fatal(fmt.Errorf("json: %w", err))
 		}
 		fmt.Printf("\nresults written to %s\n", *jsonOut)
 	}
-	if *ckptOut != "" && *walkers <= 1 {
+	if *ckptOut != "" && sim != nil {
 		if err := sim.Checkpoint().Save(*ckptOut); err != nil {
-			fmt.Fprintln(os.Stderr, "dqmc: checkpoint:", err)
-			os.Exit(1)
+			fatal(fmt.Errorf("checkpoint: %w", err))
 		}
 		fmt.Printf("\ncheckpoint written to %s\n", *ckptOut)
 	}
+}
+
+func banner(cfg questgo.Config) {
+	fmt.Printf("DQMC: %dx%dx%d sites, U=%g mu=%g beta=%g L=%d (dtau=%g), k=%d, prepivot=%v\n",
+		cfg.Nx, cfg.Ny, cfg.Layers, cfg.U, cfg.Mu, cfg.Beta, cfg.L,
+		cfg.Beta/float64(cfg.L), cfg.ClusterK, cfg.PrePivot)
+	fmt.Printf("Schedule: %d warmup + %d measurement sweeps, seed %d\n\n",
+		cfg.WarmSweeps, cfg.MeasSweeps, cfg.Seed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dqmc:", err)
+	os.Exit(1)
 }

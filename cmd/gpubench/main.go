@@ -11,6 +11,10 @@
 // Usage:
 //
 //	gpubench [-fig 9] [-sizes 64,144,256,576,1024] [-k 10] [-l 160]
+//	         [-json BENCH_gpu.json]
+//
+// With -json, one benchutil.Record JSON line per measured series and size
+// is appended to the named file.
 package main
 
 import (
@@ -34,6 +38,7 @@ func main() {
 	sizesFlag := flag.String("sizes", "64,144,256,576,1024", "site counts (perfect squares)")
 	k := flag.Int("k", 10, "matrix clustering size")
 	l := flag.Int("l", 160, "time slices (figure 10)")
+	jsonPath := flag.String("json", "", "append one JSON line per series and size to this file")
 	flag.Parse()
 
 	sizes, err := benchutil.ParseSizes(*sizesFlag)
@@ -44,11 +49,23 @@ func main() {
 
 	switch *fig {
 	case 9:
-		figure9(sizes, *k)
+		figure9(sizes, *k, *jsonPath)
 	case 10:
-		figure10(sizes, *k, *l)
+		figure10(sizes, *k, *l, *jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "gpubench: unknown figure %d\n", *fig)
+		os.Exit(1)
+	}
+}
+
+// emit appends one unified bench record, exiting on write failure.
+func emit(path, name string, n, k int, secs, flops float64) {
+	if path == "" {
+		return
+	}
+	rec := benchutil.NewRecord("gpubench", name, n, secs, flops).WithParam("k", k)
+	if err := rec.Append(path); err != nil {
+		fmt.Fprintln(os.Stderr, "gpubench: json append:", err)
 		os.Exit(1)
 	}
 }
@@ -68,7 +85,7 @@ func setup(n, l int, seed uint64) (*hubbard.Propagator, *hubbard.Field, int) {
 	return prop, field, nx
 }
 
-func figure9(sizes []int, k int) {
+func figure9(sizes []int, k int, jsonPath string) {
 	fmt.Printf("Figure 9: simulated-GPU clustering (Alg 4) and wrapping (Alg 6), k=%d\n\n", k)
 	tbl := benchutil.NewTable("N", "cluster GF/s", "wrap GF/s", "device DGEMM GF/s")
 	for _, n := range sizes {
@@ -85,11 +102,13 @@ func figure9(sizes []int, k int) {
 		dst := mat.New(n, n)
 		acc.Cluster(dst, field, hubbard.Up, 0, k)
 		clusterGF := dev.GFlopsRate()
+		emit(jsonPath, "cluster", n, k, dev.Clock().Seconds(), float64(dev.Flops()))
 
 		dev.Reset()
 		g := randomMatrix(n)
 		acc.Wrap(g, field, hubbard.Up, 0)
 		wrapGF := dev.GFlopsRate()
+		emit(jsonPath, "wrap", n, k, dev.Clock().Seconds(), float64(dev.Flops()))
 
 		// Pure device DGEMM rate at this size including one matrix
 		// round trip (the CUBLAS-call-with-transfer comparison point).
@@ -102,6 +121,7 @@ func figure9(sizes []int, k int) {
 		dev.Dgemm(false, false, 1, da, db, 0, dc)
 		dev.GetMatrix(g, dc)
 		gemmGF := dev.GFlopsRate()
+		emit(jsonPath, "device-gemm", n, k, dev.Clock().Seconds(), float64(dev.Flops()))
 
 		tbl.AddRow(n,
 			fmt.Sprintf("%7.1f", clusterGF),
@@ -115,7 +135,7 @@ func figure9(sizes []int, k int) {
 	fmt.Println("but both rise with N.")
 }
 
-func figure10(sizes []int, k, l int) {
+func figure10(sizes []int, k, l int, jsonPath string) {
 	fmt.Printf("Figure 10: hybrid CPU+GPU Green's function evaluation, L=%d, k=%d\n\n", l, k)
 	fmt.Println("(clusters built on the simulated device; stratification with")
 	fmt.Println("pre-pivoting on the host; rate = flops / (host time + modeled device time))")
@@ -145,6 +165,7 @@ func figure10(sizes []int, k, l int) {
 		hybridSec := hostSec + dev.Clock().Seconds()
 		flops := benchutil.GreensFlops(n, nc) + benchutil.ClusterFlops(n, k)
 		hybridGF := benchutil.GFlops(flops, hybridSec)
+		emit(jsonPath, "hybrid", n, k, hybridSec, flops)
 
 		// CPU only: the same work entirely on the host (cluster set built
 		// outside the timed region, matching the hybrid measurement).
@@ -154,6 +175,7 @@ func figure10(sizes []int, k, l int) {
 		cpuCS.GreenAt(0, true)
 		cpuSec := time.Since(startCPU).Seconds()
 		cpuGF := benchutil.GFlops(flops, cpuSec)
+		emit(jsonPath, "cpu", n, k, cpuSec, flops)
 
 		tbl.AddRow(n,
 			fmt.Sprintf("%7.2f", hybridGF),

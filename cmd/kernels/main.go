@@ -71,19 +71,21 @@ func main() {
 			fmt.Sprintf("%7.2f", qrpGF),
 			fmt.Sprintf("%5.2f", qrpGF/qrGF))
 		if *jsonPath != "" {
-			rec := struct {
-				Bench string  `json:"bench"`
-				N     int     `json:"n"`
-				Procs int     `json:"gomaxprocs"`
-				Gemm  float64 `json:"gemm_gflops"`
-				QR    float64 `json:"geqrf_gflops"`
-				QRP   float64 `json:"geqp3_gflops"`
-				Stamp string  `json:"time"`
-			}{"kernels", n, runtime.GOMAXPROCS(0), gemmGF, qrGF, qrpGF,
-				time.Now().UTC().Format(time.RFC3339)}
-			if err := benchutil.AppendJSONLine(*jsonPath, rec); err != nil {
-				fmt.Fprintln(os.Stderr, "json append:", err)
-				os.Exit(1)
+			for _, pt := range []struct {
+				name  string
+				secs  float64
+				flops float64
+			}{
+				{"gemm", gemmSec, benchutil.GemmFlops(n)},
+				{"geqrf", qrSec, benchutil.QRFlops(n)},
+				{"geqp3", qrpSec, benchutil.QRFlops(n)},
+			} {
+				rec := benchutil.NewRecord("kernels", pt.name, n, pt.secs, pt.flops).
+					WithParam("gomaxprocs", runtime.GOMAXPROCS(0))
+				if err := rec.Append(*jsonPath); err != nil {
+					fmt.Fprintln(os.Stderr, "json append:", err)
+					os.Exit(1)
+				}
 			}
 		}
 	}

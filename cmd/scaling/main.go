@@ -15,11 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
-	"time"
 
 	"questgo"
 	"questgo/internal/benchutil"
@@ -55,21 +55,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "skipping N=%d (not a perfect square)\n", n)
 			continue
 		}
-		cfg := questgo.DefaultConfig()
-		cfg.Nx, cfg.Ny = nx, nx
-		cfg.U = *u
-		cfg.Beta = 0.125 * float64(*l)
-		cfg.L = *l
-		cfg.WarmSweeps, cfg.MeasSweeps = *warm, *meas
-		cfg.MeasureDynamics = *dynamics
-		sim, err := questgo.NewSimulation(cfg)
+		cfg, err := questgo.NewConfig(
+			questgo.WithLattice(nx, nx),
+			questgo.WithInteraction(*u, 0),
+			questgo.WithTemperature(0.125*float64(*l), *l),
+			questgo.WithSchedule(*warm, *meas),
+			questgo.WithMeasureDynamics(*dynamics),
+		)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scaling:", err)
 			os.Exit(1)
 		}
-		start := time.Now()
-		res := sim.Run()
-		elapsed := time.Since(start).Seconds()
+		res, err := questgo.Run(context.Background(), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scaling:", err)
+			os.Exit(1)
+		}
+		// The instrumented wall time of the run itself (setup excluded) —
+		// the same clock the Table-I percentages are computed from.
+		elapsed := res.Metrics.WallMS / 1e3
 		if baseTime == 0 {
 			baseTime, baseN = elapsed, n
 		}

@@ -13,15 +13,24 @@
 // lattice size in -bsizes it times ms/sweep of the full Metropolis sweep in
 // two configurations — the pre-optimization baseline (full-chain
 // stratified refresh, serial spin sectors) and the production path
-// (prefix/suffix UDT stack + spin-parallel phases) — and appends one JSON
-// line per size to the named file:
+// (prefix/suffix UDT stack + spin-parallel phases) — and appends one
+// benchutil.Record JSON line per configuration to the named file:
 //
 //	sweep -json BENCH_sweep.json -bsizes 8,12,16 -bsweeps 2
+//
+// With -obscheck, the command instead measures the overhead of the metrics
+// instrumentation (enabled collector vs disabled) on the hot sweep path and
+// fails if it exceeds -obsmax percent — the regression gate wired into
+// reproduce.sh:
+//
+//	sweep -obscheck -obsmax 2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -33,6 +42,7 @@ import (
 	"questgo/internal/core"
 	"questgo/internal/hubbard"
 	"questgo/internal/lattice"
+	"questgo/internal/obs"
 	"questgo/internal/rng"
 	"questgo/internal/update"
 )
@@ -56,8 +66,19 @@ func main() {
 	bl := flag.Int("bl", 40, "benchmark time slices")
 	bk := flag.Int("bk", 5, "benchmark cluster size k")
 	bsweeps := flag.Int("bsweeps", 2, "timed sweeps per configuration")
+	obscheck := flag.Bool("obscheck", false, "overhead mode: gate metrics instrumentation cost on the sweep hot path")
+	obsmax := flag.Float64("obsmax", 2.0, "maximum tolerated instrumentation overhead, percent")
+	obsnx := flag.Int("obsnx", 8, "overhead mode: lattice linear size")
+	obsreps := flag.Int("obsreps", 3, "overhead mode: interleaved repetitions per variant")
 	flag.Parse()
 
+	if *obscheck {
+		if err := runObsCheck(*obsnx, *bl, *bk, *bsweeps, *obsreps, *obsmax); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonPath != "" {
 		if err := runSweepBench(*jsonPath, *bsizes, *bl, *bk, *bsweeps); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -78,36 +99,46 @@ func main() {
 	}
 	tbl := benchutil.NewTable(header...)
 	for _, v := range values {
-		cfg := questgo.DefaultConfig()
-		cfg.Nx, cfg.Ny, cfg.Layers = *nx, *nx, *layers
-		cfg.U, cfg.Beta = *u, *beta
-		cfg.WarmSweeps, cfg.MeasSweeps = *warm, *meas
-		cfg.Seed = *seed
+		bval, uval, muval, tperpv := *beta, *u, 0.0, 0.0
+		var extra []questgo.ConfigOption
 		switch strings.ToLower(*scan) {
 		case "beta":
-			cfg.Beta = v
+			bval = v
 		case "u":
-			cfg.U = v
+			uval = v
 		case "mu":
-			cfg.Mu = v
+			muval = v
 		case "tprime":
-			cfg.TPrime = v
+			extra = append(extra, questgo.WithHopping(1, 0, v))
 		case "tperp":
-			cfg.Tperp = v
+			tperpv = v
 		default:
 			fmt.Fprintf(os.Stderr, "sweep: unknown parameter %q\n", *scan)
 			os.Exit(1)
 		}
-		cfg.L = int(cfg.Beta / *dtau)
-		if cfg.L < 4 {
-			cfg.L = 4
+		l := int(bval / *dtau)
+		if l < 4 {
+			l = 4
+		}
+		opts := append([]questgo.ConfigOption{
+			questgo.WithLattice(*nx, *nx),
+			questgo.WithLayers(*layers, tperpv),
+			questgo.WithInteraction(uval, muval),
+			questgo.WithTemperature(bval, l),
+			questgo.WithSchedule(*warm, *meas),
+			questgo.WithSeed(*seed),
+		}, extra...)
+		cfg, err := questgo.NewConfig(opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "running %s = %g (L = %d)...\n", *scan, v, cfg.L)
 
 		var res *questgo.Results
 		var chiStr string
 		if *walkers > 1 {
-			res, err = questgo.RunParallel(cfg, *walkers)
+			res, err = questgo.Run(context.Background(), cfg, questgo.WithWalkers(*walkers))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "sweep:", err)
 				os.Exit(1)
@@ -148,9 +179,33 @@ func sampleChi(sim *questgo.Simulation, samples int) *core.ChiResult {
 	return sim.SampleSusceptibility(samples, 0)
 }
 
+// sweepSetup builds the model and a per-sweep timer for benchmark modes.
+func sweepSetup(nx, l int) (prop *hubbard.Propagator, n int, err error) {
+	lat := lattice.NewSquare(nx, nx, 1.0)
+	model, err := hubbard.NewModel(lat, 4, 0, 0.125*float64(l), l)
+	if err != nil {
+		return nil, 0, err
+	}
+	return hubbard.NewPropagator(model), model.N(), nil
+}
+
+// timeSweeps measures seconds per Metropolis sweep under the given options,
+// after one untimed warmup sweep to populate pools and caches.
+func timeSweeps(prop *hubbard.Propagator, l, sweeps int, o update.Options) float64 {
+	f := hubbard.NewRandomField(l, prop.Model.N(), rng.New(11))
+	sw := update.NewSweeper(prop, f, rng.New(23), o)
+	sw.Sweep()
+	start := time.Now()
+	for i := 0; i < sweeps; i++ {
+		sw.Sweep()
+	}
+	return time.Since(start).Seconds() / float64(sweeps)
+}
+
 // runSweepBench times full Metropolis sweeps at each lattice size, baseline
 // (NoStack + SerialSpins, the pre-optimization path) vs the production
-// stack + spin-parallel path, and appends one JSON line per size.
+// stack + spin-parallel path, and appends one benchutil.Record per
+// configuration.
 func runSweepBench(path, sizesFlag string, l, k, sweeps int) error {
 	sizes, err := benchutil.ParseSizes(sizesFlag)
 	if err != nil {
@@ -164,51 +219,74 @@ func runSweepBench(path, sizesFlag string, l, k, sweeps int) error {
 	fmt.Println()
 	tbl := benchutil.NewTable("N", "L", "k", "base ms/sweep", "opt ms/sweep", "speedup")
 	for _, nx := range sizes {
-		lat := lattice.NewSquare(nx, nx, 1.0)
-		model, err := hubbard.NewModel(lat, 4, 0, 0.125*float64(l), l)
+		prop, n, err := sweepSetup(nx, l)
 		if err != nil {
 			return err
 		}
-		prop := hubbard.NewPropagator(model)
+		base := timeSweeps(prop, l, sweeps, update.Options{
+			ClusterK: k, PrePivot: true, NoStack: true, SerialSpins: true,
+		})
+		opt := timeSweeps(prop, l, sweeps, update.Options{
+			ClusterK: k, PrePivot: true,
+		})
 
-		msPerSweep := func(noStack, serial bool) float64 {
-			f := hubbard.NewRandomField(l, model.N(), rng.New(11))
-			sw := update.NewSweeper(prop, f, rng.New(23), update.Options{
-				ClusterK: k, PrePivot: true, NoStack: noStack, SerialSpins: serial,
-			})
-			sw.Sweep() // warm the pools and caches
-			start := time.Now()
-			for i := 0; i < sweeps; i++ {
-				sw.Sweep()
-			}
-			return time.Since(start).Seconds() * 1e3 / float64(sweeps)
-		}
-		base := msPerSweep(true, true)
-		opt := msPerSweep(false, false)
-
-		n := model.N()
 		tbl.AddRow(n, l, k,
-			fmt.Sprintf("%9.1f", base),
-			fmt.Sprintf("%9.1f", opt),
+			fmt.Sprintf("%9.1f", base*1e3),
+			fmt.Sprintf("%9.1f", opt*1e3),
 			fmt.Sprintf("%5.2f", base/opt))
-		rec := struct {
-			Bench string  `json:"bench"`
-			N     int     `json:"n"`
-			Nx    int     `json:"nx"`
-			L     int     `json:"l"`
-			K     int     `json:"k"`
-			Procs int     `json:"gomaxprocs"`
-			Base  float64 `json:"baseline_ms_per_sweep"`
-			Opt   float64 `json:"stacked_ms_per_sweep"`
-			Speed float64 `json:"speedup"`
-			Stamp string  `json:"time"`
-		}{"sweep", n, nx, l, k, runtime.GOMAXPROCS(0), base, opt, base / opt,
-			time.Now().UTC().Format(time.RFC3339)}
-		if err := benchutil.AppendJSONLine(path, rec); err != nil {
-			return err
+		for _, pt := range []struct {
+			name string
+			secs float64
+		}{{"baseline", base}, {"stacked", opt}} {
+			rec := benchutil.NewRecord("sweep", pt.name, n, pt.secs, 0).
+				WithParam("nx", nx).WithParam("l", l).WithParam("k", k).
+				WithParam("gomaxprocs", runtime.GOMAXPROCS(0))
+			if err := rec.Append(path); err != nil {
+				return err
+			}
 		}
 	}
 	tbl.Render(os.Stdout)
+	return nil
+}
+
+// runObsCheck interleaves timed sweep batches with the metrics collector
+// disabled (nil) and enabled, compares the best time of each variant, and
+// fails when the enabled path is more than maxPct percent slower. The
+// instrumentation contract is a handful of atomic adds and monotonic clock
+// reads per sweep phase, so the measured overhead should be far below the
+// gate; taking the minimum over interleaved repetitions suppresses
+// scheduler noise.
+func runObsCheck(nx, l, k, sweeps, reps int, maxPct float64) error {
+	prop, n, err := sweepSetup(nx, l)
+	if err != nil {
+		return err
+	}
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	bestOff, bestOn := math.Inf(1), math.Inf(1)
+	for r := 0; r < reps; r++ {
+		if t := timeSweeps(prop, l, sweeps, update.Options{ClusterK: k, PrePivot: true}); t < bestOff {
+			bestOff = t
+		}
+		col := obs.New()
+		col.Reset()
+		if t := timeSweeps(prop, l, sweeps, update.Options{ClusterK: k, PrePivot: true, Obs: col}); t < bestOn {
+			bestOn = t
+		}
+	}
+	overhead := (bestOn - bestOff) / bestOff * 100
+	fmt.Printf("metrics overhead check: N=%d L=%d k=%d, %d sweeps x %d reps\n", n, l, k, sweeps, reps)
+	fmt.Printf("  collector off: %8.2f ms/sweep\n", bestOff*1e3)
+	fmt.Printf("  collector on:  %8.2f ms/sweep\n", bestOn*1e3)
+	fmt.Printf("  overhead:      %+7.2f%% (gate %.1f%%)\n", overhead, maxPct)
+	if overhead > maxPct {
+		return fmt.Errorf("instrumentation overhead %.2f%% exceeds %.1f%% gate", overhead, maxPct)
+	}
 	return nil
 }
 

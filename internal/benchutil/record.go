@@ -1,0 +1,78 @@
+package benchutil
+
+import (
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is the unified machine-readable bench result shared by every
+// figure-regeneration harness (cmd/kernels, cmd/sweep, cmd/gpubench). One
+// record is one measured point; harnesses append them as JSON lines so
+// results from different commands and commits diff with the same tooling.
+// Field names are a compatibility surface.
+type Record struct {
+	// Bench is the harness name ("kernels", "sweep", "gpubench"); Name the
+	// measured series/kernel within it ("gemm", "wrap", "cluster", ...).
+	Bench string `json:"bench"`
+	Name  string `json:"name"`
+	// N is the primary problem size (matrix dimension or site count);
+	// Params carries any further size/shape parameters by name (k, L, nd).
+	N      int            `json:"n,omitempty"`
+	Params map[string]int `json:"params,omitempty"`
+	// Ms is the measured milliseconds per operation; GFlops the derived
+	// throughput when the harness knows the flop count.
+	Ms     float64 `json:"ms"`
+	GFlops float64 `json:"gflops,omitempty"`
+	// GitRev pins the measurement to a commit; UnixTime to a moment.
+	GitRev   string `json:"git_rev,omitempty"`
+	UnixTime int64  `json:"unix_time"`
+}
+
+// NewRecord builds a record for one measured point, stamping the commit and
+// time. secs is seconds per operation; flops the nominal flop count (0 when
+// throughput is not meaningful for the series).
+func NewRecord(bench, name string, n int, secs, flops float64) Record {
+	return Record{
+		Bench:    bench,
+		Name:     name,
+		N:        n,
+		Ms:       secs * 1e3,
+		GFlops:   GFlops(flops, secs),
+		GitRev:   GitRev(),
+		UnixTime: time.Now().Unix(),
+	}
+}
+
+// WithParam returns a copy of the record with one named size parameter set.
+func (r Record) WithParam(key string, v int) Record {
+	p := make(map[string]int, len(r.Params)+1)
+	for k, old := range r.Params {
+		p[k] = old
+	}
+	p[key] = v
+	r.Params = p
+	return r
+}
+
+// Append writes the record as one JSON line to path.
+func (r Record) Append(path string) error { return AppendJSONLine(path, r) }
+
+var (
+	gitRevOnce sync.Once
+	gitRev     string
+)
+
+// GitRev returns the short hash of the repository HEAD, or "" when not in a
+// git checkout. Cached after the first call.
+func GitRev() string {
+	gitRevOnce.Do(func() {
+		out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+		if err != nil {
+			return
+		}
+		gitRev = strings.TrimSpace(string(out))
+	})
+	return gitRev
+}

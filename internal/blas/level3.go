@@ -2,6 +2,7 @@ package blas
 
 import (
 	"questgo/internal/mat"
+	"questgo/internal/obs"
 	"questgo/internal/parallel"
 )
 
@@ -30,6 +31,7 @@ func Gemm(transA, transB bool, alpha float64, a, b *mat.Dense, beta float64, c *
 	if m == 0 || n == 0 {
 		return
 	}
+	obs.AddGemm(m, n, k)
 
 	ctx := gemmCtxPool.Get().(*gemmCtx)
 	ctx.aData, ctx.as, ctx.transA = a.Data, a.Stride, transA

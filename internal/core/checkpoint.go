@@ -6,7 +6,6 @@ import (
 	"io"
 	"os"
 
-	"questgo/internal/profile"
 	"questgo/internal/update"
 )
 
@@ -110,16 +109,17 @@ func Resume(c *Checkpoint) (*Simulation, error) {
 	}
 	sim.rng.Restore(c.RngState)
 	// Rebuild the sweeper state (clusters + Green's functions) from the
-	// restored field, and restore the tracked sign.
-	prof := profile.New()
-	sim.prof = prof
+	// restored field, and restore the tracked sign. The collector is reused
+	// and re-baselined so the resumed run's metrics start clean.
+	sim.col.Reset()
 	sim.sweeper = update.NewSweeper(sim.prop, sim.field, sim.rng, update.Options{
-		ClusterK:    c.Config.ClusterK,
-		Delay:       c.Config.Delay,
-		PrePivot:    c.Config.PrePivot,
-		NoStack:     c.Config.NoStack,
-		SerialSpins: c.Config.SerialSpins,
-		Prof:        prof,
+		ClusterK:       c.Config.ClusterK,
+		Delay:          c.Config.Delay,
+		PrePivot:       c.Config.PrePivot,
+		NoStack:        c.Config.NoStack,
+		SerialSpins:    c.Config.SerialSpins,
+		Obs:            sim.col,
+		StabilityEvery: c.Config.StabilityCheckEvery,
 	})
 	sim.sweeper.SetSign(c.Sign)
 	return sim, nil

@@ -2,7 +2,7 @@ package core
 
 import (
 	"questgo/internal/measure"
-	"questgo/internal/profile"
+	"questgo/internal/obs"
 )
 
 // ChiResult holds sampled imaginary-time spin susceptibilities.
@@ -29,13 +29,13 @@ func (s *Simulation) SampleSusceptibility(samples, every int) *ChiResult {
 	var af, uni, signs []float64
 	for i := 0; i < samples; i++ {
 		s.sweeper.Sweep()
-		done := s.prof.Track(profile.Measurement)
+		start := s.col.Begin()
 		chi := measure.MeasureSusceptibility(s.lat, s.prop, s.field, every, s.sweeper.ClusterK())
 		sg := s.sweeper.Sign()
 		af = append(af, sg*chi.ChiAF())
 		uni = append(uni, sg*chi.ChiUniform())
 		signs = append(signs, sg)
-		done()
+		s.col.End(obs.PhaseMeasure, start)
 	}
 	res := &ChiResult{Samples: samples}
 	res.AF, res.AFErr = signedAverage(af, signs)

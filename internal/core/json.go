@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 
+	"questgo/internal/obs"
 	"questgo/internal/profile"
 )
 
@@ -42,6 +43,10 @@ type resultsJSON struct {
 	GdTau         [][]float64 `json:"gd_tau,omitempty"`
 	GdTauErr      [][]float64 `json:"gd_tau_err,omitempty"`
 
+	// Metrics is the run's full metrics document (phase breakdown, op
+	// counts, stability telemetry); ProfilePercent is the legacy Table-I
+	// flattening kept for downstream readers.
+	Metrics        *obs.Metrics       `json:"metrics,omitempty"`
 	ProfilePercent map[string]float64 `json:"profile_percent,omitempty"`
 }
 
@@ -74,6 +79,7 @@ func (r *Results) WriteJSON(w io.Writer) error {
 		DisplacedTaus:  r.DisplacedTaus,
 		GdTau:          r.GdTau,
 		GdTauErr:       r.GdTauErr,
+		Metrics:        r.Metrics,
 	}
 	if r.Prof != nil {
 		pc := r.Prof.Percentages()

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sync"
 
 	"questgo/internal/stats"
 )
@@ -18,38 +18,14 @@ import (
 // Error bars on merged scalars are the standard error across walker means
 // (each walker is an independent estimate); this requires walkers >= 2 for
 // nonzero errors. Vector observables are merged the same way element-wise.
+//
+// RunParallel is a compatibility wrapper over Run(ctx, cfg,
+// WithWalkers(walkers)).
 func RunParallel(cfg Config, walkers int) (*Results, error) {
 	if walkers < 1 {
 		return nil, fmt.Errorf("core: need at least one walker")
 	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	results := make([]*Results, walkers)
-	errs := make([]error, walkers)
-	var wg sync.WaitGroup
-	for w := 0; w < walkers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			wcfg := cfg
-			// Spread seeds far apart deterministically.
-			wcfg.Seed = cfg.Seed + uint64(w)*0x9e3779b97f4a7c15
-			sim, err := New(wcfg)
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			results[w] = sim.Run()
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return MergeResults(results)
+	return Run(context.Background(), cfg, WithWalkers(walkers))
 }
 
 // MergeResults combines independent runs of the same configuration into

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"questgo/internal/obs"
+	"questgo/internal/profile"
+)
+
+// RunOption configures a package-level Run call.
+type RunOption func(*runOptions)
+
+type runOptions struct {
+	progress       func(Progress)
+	walkers        int
+	checkpointPath string
+}
+
+// WithProgress registers a callback invoked after every sweep with the
+// current position and a live phase-timing snapshot. With multiple walkers
+// only the first walker reports, so the callback sees one monotonic stream.
+func WithProgress(cb func(Progress)) RunOption {
+	return func(o *runOptions) { o.progress = cb }
+}
+
+// WithWalkers runs n statistically independent Markov chains concurrently
+// (seeds derived deterministically from Config.Seed) and merges their
+// results; n <= 1 runs a single chain. All walkers share one metrics
+// collector, so the merged Results carry run-exact op counts and a combined
+// phase breakdown (whose coverage can exceed 1x wall — the walkers overlap).
+func WithWalkers(n int) RunOption {
+	return func(o *runOptions) { o.walkers = n }
+}
+
+// WithCheckpointOnCancel saves the Markov-chain state to path when the
+// context is canceled mid-run, so the chain can be continued with Resume.
+// Single-walker runs only.
+func WithCheckpointOnCancel(path string) RunOption {
+	return func(o *runOptions) { o.checkpointPath = path }
+}
+
+// Run is the unified entry point of the pipeline: it validates and builds
+// the simulation, executes the schedule under ctx, and returns Results
+// carrying the metrics document. It subsumes the older Simulation.Run /
+// RunProgress / RunParallel trio (kept as thin wrappers).
+func Run(ctx context.Context, cfg Config, options ...RunOption) (*Results, error) {
+	var ro runOptions
+	for _, opt := range options {
+		opt(&ro)
+	}
+	if ro.walkers > 1 && ro.checkpointPath != "" {
+		return nil, fmt.Errorf("core: checkpoint-on-cancel supports a single walker, not %d", ro.walkers)
+	}
+	if ro.walkers <= 1 {
+		sim, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.RunContext(ctx, ro.progress)
+		if err != nil {
+			if ro.checkpointPath != "" {
+				if cerr := sim.Checkpoint().Save(ro.checkpointPath); cerr != nil {
+					return nil, fmt.Errorf("core: run canceled (%w); checkpoint failed: %v", err, cerr)
+				}
+			}
+			return nil, err
+		}
+		return res, nil
+	}
+
+	// Multi-walker: one shared collector baselines the op counters around
+	// the whole group, so the merged deltas are exact even though the
+	// counters are process-global.
+	col := obs.New()
+	results := make([]*Results, ro.walkers)
+	errs := make([]error, ro.walkers)
+	var wg sync.WaitGroup
+	for w := 0; w < ro.walkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wcfg := cfg
+			// Spread seeds far apart deterministically.
+			wcfg.Seed = cfg.Seed + uint64(w)*0x9e3779b97f4a7c15
+			sim, err := newWithCollector(wcfg, col)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			var cb func(Progress)
+			if w == 0 {
+				cb = ro.progress
+			}
+			// runBody, not RunContext: walkers sharing one collector must
+			// not re-baseline each other's window. The group's baseline is
+			// the collector's construction above.
+			results[w], errs[w] = sim.runBody(ctx, cb)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged, err := MergeResults(results)
+	if err != nil {
+		return nil, err
+	}
+	col.Finish()
+	merged.Metrics = col.Metrics()
+	merged.Prof = profile.FromPhases(col.PhaseDurations())
+	return merged, nil
+}

@@ -5,11 +5,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"time"
 
 	"questgo/internal/hubbard"
 	"questgo/internal/lattice"
 	"questgo/internal/measure"
+	"questgo/internal/obs"
 	"questgo/internal/profile"
 	"questgo/internal/rng"
 	"questgo/internal/stats"
@@ -59,6 +63,12 @@ type Config struct {
 	// measurement sweep (QUEST's "dynamic" observables). Off by default —
 	// each tau costs a full two-sided stratified evaluation per spin.
 	MeasureDynamics bool
+	// StabilityCheckEvery, when positive, compares the amortized stack
+	// Green's function against a full stratified rebuild every that many
+	// cluster boundaries and records the residual in the run metrics. Each
+	// check costs one extra whole-chain stratification, so it is sampled;
+	// 0 disables it.
+	StabilityCheckEvery int
 
 	Seed uint64
 }
@@ -83,10 +93,22 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: invalid lattice %dx%dx%d", c.Nx, c.Ny, c.Layers)
 	case c.L < 1:
 		return fmt.Errorf("core: need at least 1 time slice")
-	case c.Beta <= 0:
-		return fmt.Errorf("core: beta must be positive")
+	case c.Beta <= 0 || math.IsInf(c.Beta, 0) || math.IsNaN(c.Beta):
+		return fmt.Errorf("core: beta must be positive and finite, got %v", c.Beta)
+	case math.IsNaN(c.T) || math.IsInf(c.T, 0) ||
+		math.IsNaN(c.U) || math.IsInf(c.U, 0) ||
+		math.IsNaN(c.Mu) || math.IsInf(c.Mu, 0):
+		return fmt.Errorf("core: t/U/mu must be finite (t=%v U=%v mu=%v)", c.T, c.U, c.Mu)
+	case c.WarmSweeps < 0:
+		return fmt.Errorf("core: warmup sweeps must be >= 0, got %d", c.WarmSweeps)
 	case c.MeasSweeps < 1:
 		return fmt.Errorf("core: need at least 1 measurement sweep")
+	case c.ClusterK < 0:
+		return fmt.Errorf("core: cluster size must be >= 0 (0 = default), got %d", c.ClusterK)
+	case c.Delay < 0:
+		return fmt.Errorf("core: delay block size must be >= 0 (0 = default), got %d", c.Delay)
+	case c.StabilityCheckEvery < 0:
+		return fmt.Errorf("core: stability check cadence must be >= 0 (0 = off), got %d", c.StabilityCheckEvery)
 	}
 	return nil
 }
@@ -121,7 +143,13 @@ type Results struct {
 
 	// Numerical diagnostics.
 	MaxWrapDrift float64
-	Prof         *profile.Profile
+
+	// Metrics is the run's exportable metrics document: per-phase wall-time
+	// breakdown, operation counts and stability telemetry (see obs.Metrics).
+	Metrics *obs.Metrics
+	// Prof is the paper's Table-I rendering of the same phase breakdown,
+	// derived from Metrics' underlying collector.
+	Prof *profile.Profile
 }
 
 // Simulation is a configured DQMC run.
@@ -133,12 +161,19 @@ type Simulation struct {
 	field   *hubbard.Field
 	rng     *rng.Rand
 	sweeper *update.Sweeper
-	prof    *profile.Profile
+	col     *obs.Collector
 }
 
 // New builds the lattice, propagators and initial field for the
 // configuration.
 func New(cfg Config) (*Simulation, error) {
+	return newWithCollector(cfg, obs.New())
+}
+
+// newWithCollector is New with a caller-supplied collector, so parallel
+// walkers of one run can share a single collector (keeping the run-level
+// op-counter deltas exact — the counters are process-global).
+func newWithCollector(cfg Config, col *obs.Collector) (*Simulation, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -161,16 +196,16 @@ func New(cfg Config) (*Simulation, error) {
 	prop := hubbard.NewPropagator(model)
 	r := rng.New(cfg.Seed)
 	field := hubbard.NewRandomField(cfg.L, model.N(), r)
-	prof := profile.New()
 	sw := update.NewSweeper(prop, field, r, update.Options{
-		ClusterK:    cfg.ClusterK,
-		Delay:       cfg.Delay,
-		PrePivot:    cfg.PrePivot,
-		NoStack:     cfg.NoStack,
-		SerialSpins: cfg.SerialSpins,
-		Prof:        prof,
+		ClusterK:       cfg.ClusterK,
+		Delay:          cfg.Delay,
+		PrePivot:       cfg.PrePivot,
+		NoStack:        cfg.NoStack,
+		SerialSpins:    cfg.SerialSpins,
+		Obs:            col,
+		StabilityEvery: cfg.StabilityCheckEvery,
 	})
-	return &Simulation{cfg: cfg, lat: lat, model: model, prop: prop, field: field, rng: r, sweeper: sw, prof: prof}, nil
+	return &Simulation{cfg: cfg, lat: lat, model: model, prop: prop, field: field, rng: r, sweeper: sw, col: col}, nil
 }
 
 // Model exposes the underlying Hubbard model (read-only use).
@@ -179,14 +214,27 @@ func (s *Simulation) Model() *hubbard.Model { return s.model }
 // Lattice exposes the geometry.
 func (s *Simulation) Lattice() *lattice.Lattice { return s.lat }
 
-// Profile exposes the phase timing accumulated so far.
-func (s *Simulation) Profile() *profile.Profile { return s.prof }
+// Profile exposes the Table-I phase timing accumulated so far (derived from
+// the run's collector).
+func (s *Simulation) Profile() *profile.Profile {
+	return profile.FromPhases(s.col.PhaseDurations())
+}
 
-// Progress reports a running simulation's position; see RunProgress.
+// Collector exposes the run's metrics collector.
+func (s *Simulation) Collector() *obs.Collector { return s.col }
+
+// Progress reports a running simulation's position; see RunProgress. Each
+// report carries a live snapshot of the phase-timing breakdown, so callers
+// can stream "where is the time going" alongside "how far along are we".
 type Progress struct {
 	Stage string // "warmup" or "measure"
 	Sweep int
 	Total int
+
+	// Phases is the per-phase time accumulated since the run started; Wall
+	// is the elapsed wall time over the same window.
+	Phases obs.PhaseDurations
+	Wall   time.Duration
 }
 
 // Run executes the full schedule and returns the results.
@@ -194,11 +242,44 @@ func (s *Simulation) Run() *Results { return s.RunProgress(nil) }
 
 // RunProgress is Run with an optional callback invoked after every sweep.
 func (s *Simulation) RunProgress(cb func(Progress)) *Results {
+	res, _ := s.RunContext(context.Background(), cb)
+	return res
+}
+
+// report invokes the progress callback with a live phase snapshot.
+func (s *Simulation) report(cb func(Progress), stage string, sweep, total int) {
+	if cb == nil {
+		return
+	}
+	cb(Progress{
+		Stage: stage, Sweep: sweep, Total: total,
+		Phases: s.col.PhaseDurations(),
+		Wall:   s.col.Wall(),
+	})
+}
+
+// RunContext executes the full schedule, stopping between sweeps when ctx is
+// canceled. On cancellation it returns ctx.Err() with nil results; the
+// simulation remains in a consistent state, so the caller can Checkpoint()
+// it and resume later (package-level Run wires this up as
+// checkpoint-on-cancel).
+func (s *Simulation) RunContext(ctx context.Context, cb func(Progress)) (*Results, error) {
+	// Re-baseline the collector so constructor work (cluster building, stack
+	// setup — or a long gap between New and Run) is excluded from the run's
+	// wall time and the phase breakdown stays an honest partition of it.
+	s.col.Reset()
+	return s.runBody(ctx, cb)
+}
+
+// runBody is RunContext after the collector re-baseline; shared-collector
+// walkers (Run with WithWalkers) enter here directly.
+func (s *Simulation) runBody(ctx context.Context, cb func(Progress)) (*Results, error) {
 	for w := 0; w < s.cfg.WarmSweeps; w++ {
-		s.sweeper.Sweep()
-		if cb != nil {
-			cb(Progress{Stage: "warmup", Sweep: w + 1, Total: s.cfg.WarmSweeps})
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
+		s.sweeper.Sweep()
+		s.report(cb, "warmup", w+1, s.cfg.WarmSweeps)
 	}
 
 	var (
@@ -212,10 +293,10 @@ func (s *Simulation) RunProgress(cb func(Progress)) *Results {
 	// average; otherwise a single measurement is taken after the sweep.
 	var collected []*measure.EqualTime
 	takeMeasurement := func() {
-		done := s.prof.Track(profile.Measurement)
+		start := s.col.Begin()
 		sign := s.sweeper.Sign()
 		collected = append(collected, measure.Measure(s.lat, s.sweeper.GreenUp(), s.sweeper.GreenDn(), sign))
-		done()
+		s.col.End(obs.PhaseMeasure, start)
 	}
 	if s.cfg.MeasureBoundaries {
 		s.sweeper.SetBoundaryHook(takeMeasurement)
@@ -224,13 +305,16 @@ func (s *Simulation) RunProgress(cb func(Progress)) *Results {
 	var dynAcc stats.VectorAccumulator
 	var dynTaus []int
 	for m := 0; m < s.cfg.MeasSweeps; m++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		collected = collected[:0]
 		s.sweeper.Sweep()
 		if len(collected) == 0 {
 			takeMeasurement()
 		}
 		if s.cfg.MeasureDynamics {
-			done := s.prof.Track(profile.Measurement)
+			dstart := s.col.Begin()
 			k := s.sweeper.ClusterK()
 			// Ensure at least one tau fits in (0, L/2].
 			every := k
@@ -251,7 +335,7 @@ func (s *Simulation) RunProgress(cb func(Progress)) *Results {
 					dynAcc.Push(flat)
 				}
 			}
-			done()
+			s.col.End(obs.PhaseMeasure, dstart)
 		}
 		// Average the sweep's samples, sign weighted.
 		inv := 1 / float64(len(collected))
@@ -287,17 +371,17 @@ func (s *Simulation) RunProgress(cb func(Progress)) *Results {
 		nkAcc.Push(nk)
 		czzAcc.Push(czz)
 		layerAcc.Push(layers)
-		if cb != nil {
-			cb(Progress{Stage: "measure", Sweep: m + 1, Total: s.cfg.MeasSweeps})
-		}
+		s.report(cb, "measure", m+1, s.cfg.MeasSweeps)
 	}
 
+	// The final statistics (jackknife errors, vector averages) belong to the
+	// measurement phase of the breakdown.
+	fstart := s.col.Begin()
 	res := &Results{
 		Config:       s.cfg,
 		AvgSign:      stats.Mean(signs),
 		Acceptance:   s.sweeper.AcceptanceRate(),
 		MaxWrapDrift: s.sweeper.MaxWrapDrift(),
-		Prof:         s.prof,
 	}
 	res.Density, res.DensityErr = signedAverage(density, signs)
 	res.DoubleOcc, res.DoubleOccErr = signedAverage(docc, signs)
@@ -325,7 +409,11 @@ func (s *Simulation) RunProgress(cb func(Progress)) *Results {
 			res.GdTauErr = append(res.GdTauErr, errv[i*per:(i+1)*per])
 		}
 	}
-	return res
+	s.col.End(obs.PhaseMeasure, fstart)
+	s.col.Finish()
+	res.Metrics = s.col.Metrics()
+	res.Prof = profile.FromPhases(s.col.PhaseDurations())
+	return res, nil
 }
 
 // signedAverage computes the sign-weighted ratio <O s>/<s> with a

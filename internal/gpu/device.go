@@ -22,6 +22,7 @@ import (
 
 	"questgo/internal/blas"
 	"questgo/internal/mat"
+	"questgo/internal/obs"
 )
 
 // DeviceModel holds the cost-model parameters of the simulated accelerator.
@@ -106,6 +107,7 @@ func (d *Device) Malloc(rows, cols int) *Matrix {
 }
 
 func (d *Device) chargeTransfer(bytes int64) {
+	obs.Add(obs.OpDeviceBytes, bytes)
 	d.mu.Lock()
 	d.transferred += bytes
 	d.clock += d.model.TransferLatency
@@ -114,6 +116,8 @@ func (d *Device) chargeTransfer(bytes int64) {
 }
 
 func (d *Device) chargeKernel(flops, memBytes float64) {
+	obs.Add(obs.OpDeviceKernels, 1)
+	obs.Add(obs.OpDeviceFlops, int64(flops))
 	compute := flops / d.model.GemmFlopsPerSec
 	memory := memBytes / d.model.MemBytesPerSec
 	// The kernel runs at whichever resource is the bottleneck.

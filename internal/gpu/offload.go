@@ -4,6 +4,7 @@ import (
 	"questgo/internal/greens"
 	"questgo/internal/hubbard"
 	"questgo/internal/mat"
+	"questgo/internal/obs"
 )
 
 // Accelerator owns the device-resident state of a DQMC offload session:
@@ -67,6 +68,7 @@ func (acc *Accelerator) Cluster(dst *mat.Dense, f *hubbard.Field, sigma hubbard.
 // kernel): upload G, two GEMMs against the resident propagators, one
 // scaling kernel, download G.
 func (acc *Accelerator) Wrap(g *mat.Dense, f *hubbard.Field, sigma hubbard.Spin, l int) {
+	obs.Add(obs.OpWraps, 1)
 	dev := acc.Dev
 	dev.SetMatrix(acc.g, g)
 	dev.Dgemm(false, false, 1, acc.bKin, acc.g, 0, acc.t)

@@ -4,8 +4,8 @@ import (
 	"questgo/internal/greens"
 	"questgo/internal/hubbard"
 	"questgo/internal/mat"
+	"questgo/internal/obs"
 	"questgo/internal/parallel"
-	"questgo/internal/profile"
 	"questgo/internal/rng"
 )
 
@@ -37,7 +37,7 @@ type Sweeper struct {
 	clusterK int
 	delay    int
 	serial   bool
-	prof     *profile.Profile
+	o        *obs.Collector
 
 	up, dn   *gpuSpin
 	sign     float64
@@ -136,6 +136,7 @@ func (sp *gpuSpin) flush(dev *Device) {
 	if sp.m == 0 {
 		return
 	}
+	obs.Add(obs.OpDelayedFlushes, 1)
 	n := sp.g.Rows
 	dev.SetMatrix(sp.dg, sp.g)
 	duV := sp.du.Sub(0, 0, n, sp.m)
@@ -168,7 +169,9 @@ type SweeperOptions struct {
 	NoStack bool
 	// SerialSpins disables the concurrent up/down device phases.
 	SerialSpins bool
-	Prof        *profile.Profile
+	// Obs, when non-nil, receives per-phase timings, operation counts and
+	// stability telemetry (nil costs nothing).
+	Obs *obs.Collector
 }
 
 // NewSweeper builds the device cluster sets and the initial Green's
@@ -194,13 +197,17 @@ func NewSweeper(dev *Device, p *hubbard.Propagator, f *hubbard.Field, r *rng.Ran
 		clusterK: opts.ClusterK,
 		delay:    opts.Delay,
 		serial:   opts.SerialSpins,
-		prof:     opts.Prof,
+		o:        opts.Obs,
 		sign:     1,
 	}
-	done := opts.Prof.Track(profile.Clustering)
+	cstart := opts.Obs.Begin()
 	sw.up = newGpuSpin(dev, p, f, hubbard.Up, opts.ClusterK, opts.Delay, opts.NoStack)
 	sw.dn = newGpuSpin(dev, p, f, hubbard.Down, opts.ClusterK, opts.Delay, opts.NoStack)
-	done()
+	opts.Obs.End(obs.PhaseCluster, cstart)
+	if sw.up.st != nil {
+		sw.up.st.Obs = opts.Obs
+		sw.dn.st.Obs = opts.Obs
+	}
 
 	sw.wrapUpFn = func() { sw.up.acc.Wrap(sw.up.g, sw.Field, hubbard.Up, sw.wrapSlice) }
 	sw.wrapDnFn = func() { sw.dn.acc.Wrap(sw.dn.g, sw.Field, hubbard.Down, sw.wrapSlice) }
@@ -231,41 +238,43 @@ func (sw *Sweeper) fork(up, dn func()) {
 }
 
 func (sw *Sweeper) refresh(c int) {
-	defer sw.prof.Track(profile.Stratification)()
+	start := sw.o.Begin()
 	sw.boundary = c
 	sw.fork(sw.refreshUpFn, sw.refreshDn)
+	sw.o.End(obs.PhaseRefresh, start)
 }
 
 // Sweep performs one full Metropolis sweep with device-offloaded
 // wrapping, clustering and delayed-update flushes, the up/down sectors
 // running concurrently.
 func (sw *Sweeper) Sweep() {
+	obs.Add(obs.OpSweeps, 1)
 	model := sw.Prop.Model
 	n := model.N()
 	k := sw.clusterK
 	for s := 0; s < model.L; s++ {
-		wdone := sw.prof.Track(profile.Wrapping)
+		wstart := sw.o.Begin()
 		sw.wrapSlice = s
 		sw.fork(sw.wrapUpFn, sw.wrapDnFn)
-		wdone()
+		sw.o.End(obs.PhaseWrap, wstart)
 
-		udone := sw.prof.Track(profile.DelayedUpdate)
+		ustart := sw.o.Begin()
 		for i := 0; i < n; i++ {
 			sw.proposeFlip(s, i)
 		}
 		sw.fork(sw.flushUpFn, sw.flushDnFn)
-		udone()
+		sw.o.End(obs.PhaseFlush, ustart)
 
 		if (s+1)%k == 0 {
 			c := s / k
-			cdone := sw.prof.Track(profile.Clustering)
+			cstart := sw.o.Begin()
 			sw.cluster = c
 			sw.fork(sw.clusterUpFn, sw.clusterDn)
-			cdone()
+			sw.o.End(obs.PhaseCluster, cstart)
 			if sw.up.st != nil {
-				sdone := sw.prof.Track(profile.Stratification)
+				sstart := sw.o.Begin()
 				sw.fork(sw.advanceUpFn, sw.advanceDn)
-				sdone()
+				sw.o.End(obs.PhaseRefresh, sstart)
 			}
 			sw.refresh((c + 1) % sw.up.cs.NC)
 		}

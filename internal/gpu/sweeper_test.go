@@ -7,7 +7,7 @@ import (
 	"questgo/internal/hubbard"
 	"questgo/internal/mat"
 	"questgo/internal/measure"
-	"questgo/internal/profile"
+	"questgo/internal/obs"
 	"questgo/internal/rng"
 	"questgo/internal/update"
 )
@@ -84,13 +84,21 @@ func TestHybridSweeperPhysicsAgreesWithCPU(t *testing.T) {
 
 func TestHybridSweeperProfile(t *testing.T) {
 	p, f := testSetup(t, 3, 3, 4, 2, 8, 57)
-	prof := profile.New()
+	col := obs.New()
 	dev := NewDevice(TeslaC2050())
-	sw := NewSweeper(dev, p, f, rng.New(3), SweeperOptions{ClusterK: 4, Prof: prof})
+	sw := NewSweeper(dev, p, f, rng.New(3), SweeperOptions{ClusterK: 4, Obs: col})
+	col.Reset()
 	sw.Sweep()
-	for c := profile.DelayedUpdate; c <= profile.Wrapping; c++ {
-		if prof.Duration(c) == 0 {
-			t.Fatalf("phase %s never timed", c.Name())
+	pd := col.PhaseDurations()
+	for ph := obs.PhaseWrap; ph < obs.PhaseMeasure; ph++ {
+		if pd[ph] == 0 {
+			t.Fatalf("phase %s never timed", ph)
 		}
+	}
+	// The simulated device must have charged its counters through obs too.
+	d := col.OpDeltas()
+	if d[obs.OpDeviceKernels] == 0 || d[obs.OpDeviceBytes] == 0 || d[obs.OpDeviceFlops] == 0 {
+		t.Fatalf("device op counters not populated: kernels=%d bytes=%d flops=%d",
+			d[obs.OpDeviceKernels], d[obs.OpDeviceBytes], d[obs.OpDeviceFlops])
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"questgo/internal/blas"
 	"questgo/internal/hubbard"
 	"questgo/internal/mat"
+	"questgo/internal/obs"
 )
 
 // ClusterSet stores the products of k consecutive B matrices,
@@ -144,6 +145,7 @@ func NewWrapper(p *hubbard.Propagator) *Wrapper {
 
 // Wrap overwrites g with B_l G B_l^{-1} for the given slice and spin.
 func (w *Wrapper) Wrap(g *mat.Dense, f *hubbard.Field, sigma hubbard.Spin, l int) {
+	obs.Add(obs.OpWraps, 1)
 	if cb := w.prop.CB; cb != nil {
 		// Checkerboard fast path: g = Bcb * g * Bcb^{-1} in O(N^2).
 		cb.ApplyLeft(g)

@@ -1,11 +1,12 @@
 package greens
 
 import (
-	"sync/atomic"
+	"math"
 
 	"questgo/internal/blas"
 	"questgo/internal/lapack"
 	"questgo/internal/mat"
+	"questgo/internal/obs"
 )
 
 // ClusterSource is the slice of the ClusterSet contract the stratification
@@ -61,6 +62,12 @@ type StratStack struct {
 
 	prefix UDT
 	suf    []UDT // suf[j]: transposed-suffix snapshot, j = 1..NC-1
+
+	// Obs, when non-nil, receives a UDT condition estimate
+	// (log10 max|D|/min|D|) for every boundary evaluation — the stability
+	// telemetry that shows how much dynamic range the graded decomposition
+	// is absorbing. Optional; set by the sweepers.
+	Obs *obs.Collector
 }
 
 // NewStratStack builds the suffix decompositions for the source's current
@@ -160,6 +167,7 @@ func (st *StratStack) GreenInto(dst *mat.Dense) {
 		}
 		GreenInto(dst, chain, st.prePivot)
 	case st.filled == st.nc:
+		st.sampleCond(st.prefix.D)
 		GreenFromUDTInto(dst, &st.prefix)
 		st.Rebuild()
 	default:
@@ -229,9 +237,33 @@ func (st *StratStack) combineInto(dst *mat.Dense, c int) {
 	blas.Gemm(false, false, 1, st.prefix.Q, qmid, 0, qNew)
 	blas.Gemm(false, true, 1, that, suf.Q, 0, tNew)
 	u := UDT{Q: qNew, D: d, T: tNew}
+	st.sampleCond(d)
 	GreenFromUDTInto(dst, &u)
 	mat.PutScratch(qNew)
 	mat.PutScratch(tNew)
 	putVec(d)
-	atomic.AddInt64(&udtSteps, 1)
+	obs.Add(obs.OpUDTSteps, 1)
+}
+
+// sampleCond reports the condition estimate log10(max|D|/min|D|) of a
+// completed whole-chain decomposition to the attached collector. D is
+// sorted by descending magnitude by construction, but scan defensively.
+func (st *StratStack) sampleCond(d []float64) {
+	if !st.Obs.Enabled() || len(d) == 0 {
+		return
+	}
+	lo, hi := math.Abs(d[0]), math.Abs(d[0])
+	for _, v := range d[1:] {
+		a := math.Abs(v)
+		if a > hi {
+			hi = a
+		}
+		if a < lo {
+			lo = a
+		}
+	}
+	if lo == 0 || hi == 0 {
+		return
+	}
+	st.Obs.SampleUDTCond(math.Log10(hi / lo))
 }

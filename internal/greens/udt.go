@@ -16,11 +16,11 @@ import (
 	"math"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"questgo/internal/blas"
 	"questgo/internal/lapack"
 	"questgo/internal/mat"
+	"questgo/internal/obs"
 )
 
 // UDT is the graded decomposition Q * diag(D) * T of a long matrix product.
@@ -44,15 +44,13 @@ func (u *UDT) Matrix() *mat.Dense {
 	return out
 }
 
-// udtSteps counts cluster-level UDT factorization steps (one per matrix
-// absorbed into a decomposition, plus one per stack combine). The stack
-// test uses it to assert that the prefix/suffix scheme performs
-// asymptotically fewer steps per sweep than the full-chain rebuild.
-var udtSteps int64
-
-// UDTSteps returns the cumulative cluster-UDT step count. Monotonic; take
-// deltas to compare code paths.
-func UDTSteps() int64 { return atomic.LoadInt64(&udtSteps) }
+// UDTSteps returns the cumulative cluster-UDT step count (one per matrix
+// absorbed into a decomposition, plus one per stack combine). The counter
+// lives in the obs instrumentation layer; this accessor is kept for the
+// stack tests that assert the prefix/suffix scheme performs asymptotically
+// fewer steps per sweep than the full-chain rebuild. Monotonic; take deltas
+// to compare code paths.
+func UDTSteps() int64 { return obs.Total(obs.OpUDTSteps) }
 
 // vecPool recycles the float64 work vectors (inverse diagonals, column
 // norms) that the stratification loop used to allocate on every call.
@@ -160,7 +158,7 @@ func initUDT(u *UDT, b *mat.Dense, work, r *mat.Dense) {
 		copy(u.T.Col(jpvt[j]), r.Col(j))
 	}
 	qr.FormQ(u.Q)
-	atomic.AddInt64(&udtSteps, 1)
+	obs.Add(obs.OpUDTSteps, 1)
 }
 
 // extendUDT absorbs one more matrix into the decomposition from the left:
@@ -194,7 +192,7 @@ func extendUDT(u *UDT, b *mat.Dense, pivotEveryStep bool, work, r, tNew *mat.Den
 	blas.Gemm(false, false, 1, r, tNew, 0, u.T)
 	qr.FormQ(u.Q)
 	putPerm(perm)
-	atomic.AddInt64(&udtSteps, 1)
+	obs.Add(obs.OpUDTSteps, 1)
 }
 
 // stratifyInto runs the full chain through u, whose Q/D/T must be

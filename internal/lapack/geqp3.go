@@ -5,6 +5,7 @@ import (
 
 	"questgo/internal/blas"
 	"questgo/internal/mat"
+	"questgo/internal/obs"
 	"questgo/internal/parallel"
 )
 
@@ -24,6 +25,7 @@ import (
 // chosen, which is exactly the serialization the paper's pre-pivoting
 // variant removes.
 func QRPFactor(a *mat.Dense) (*QR, []int) {
+	obs.Add(obs.OpQRPFactorizations, 1)
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	tau := make([]float64, k)

@@ -2,6 +2,7 @@ package lapack
 
 import (
 	"questgo/internal/mat"
+	"questgo/internal/obs"
 )
 
 // qrBlock is the panel width of the blocked QR. 32 balances the level-2
@@ -22,6 +23,7 @@ type QR struct {
 // block reflector T formation, and a GEMM-rich trailing update — the
 // "mostly level 3" routine of the paper's Figure 1.
 func QRFactor(a *mat.Dense) *QR {
+	obs.Add(obs.OpQRFactorizations, 1)
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	tau := make([]float64, k)

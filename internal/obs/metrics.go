@@ -1,0 +1,132 @@
+package obs
+
+import "time"
+
+// Metrics is the stable JSON metrics document exported from a run: the
+// per-phase wall-time breakdown (the paper's Table-I rows in machine form),
+// the op-counter deltas, and the stability telemetry. Field names and the
+// phase/op key sets are a compatibility surface — downstream tooling diffs
+// these documents across runs.
+type Metrics struct {
+	WallMS float64 `json:"wall_ms"`
+	// PhaseMS maps phase name -> accumulated milliseconds; PhasePercent is
+	// each phase's share of the phase total.
+	PhaseMS      map[string]float64 `json:"phase_ms"`
+	PhasePercent map[string]float64 `json:"phase_percent"`
+	// PhaseCoverage is sum(phase)/wall — how much of the wall time the
+	// instrumented phases account for (1.0 = everything; parallel walkers
+	// sharing one collector can exceed 1).
+	PhaseCoverage float64 `json:"phase_coverage"`
+
+	Ops OpMetrics `json:"ops"`
+	// GemmGFlops is the derived host GEMM rate over the wall time.
+	GemmGFlops float64 `json:"gemm_gflops"`
+
+	Stability StabilityMetrics `json:"stability"`
+}
+
+// OpMetrics holds the op-counter deltas of a run.
+type OpMetrics struct {
+	GemmCalls         int64 `json:"gemm_calls"`
+	GemmFlops         int64 `json:"gemm_flops"`
+	QRFactorizations  int64 `json:"qr_factorizations"`
+	QRPFactorizations int64 `json:"qrp_factorizations"`
+	UDTSteps          int64 `json:"udt_steps"`
+	DelayedFlushes    int64 `json:"delayed_flushes"`
+	Wraps             int64 `json:"wraps"`
+	Sweeps            int64 `json:"sweeps"`
+	DeviceFlops       int64 `json:"device_flops,omitempty"`
+	DeviceBytes       int64 `json:"device_bytes,omitempty"`
+	DeviceKernels     int64 `json:"device_kernels,omitempty"`
+}
+
+// fromCounts maps an OpCounts delta onto the named document fields.
+func fromCounts(d OpCounts) OpMetrics {
+	return OpMetrics{
+		GemmCalls:         d[OpGemmCalls],
+		GemmFlops:         d[OpGemmFlops],
+		QRFactorizations:  d[OpQRFactorizations],
+		QRPFactorizations: d[OpQRPFactorizations],
+		UDTSteps:          d[OpUDTSteps],
+		DelayedFlushes:    d[OpDelayedFlushes],
+		Wraps:             d[OpWraps],
+		Sweeps:            d[OpSweeps],
+		DeviceFlops:       d[OpDeviceFlops],
+		DeviceBytes:       d[OpDeviceBytes],
+		DeviceKernels:     d[OpDeviceKernels],
+	}
+}
+
+// StabilityMetrics summarizes the sampled numerical diagnostics. Zero
+// sample counts mean the corresponding probe never ran (e.g. the
+// stratification residual check is off by default).
+type StabilityMetrics struct {
+	// MaxWrapDrift is the largest relative difference between a wrapped
+	// Green's function and its stratified recomputation — the diagnostic
+	// that motivates the wrapping limit l = k.
+	MaxWrapDrift     float64 `json:"max_wrap_drift"`
+	WrapDriftSamples int64   `json:"wrap_drift_samples"`
+	// MaxStratResidual / MeanStratResidual compare the prefix/suffix UDT
+	// stack's boundary Green's function against a full Loh-stratification
+	// rebuild (<= ~1e-12 for a healthy stack).
+	MaxStratResidual     float64 `json:"max_strat_residual"`
+	MeanStratResidual    float64 `json:"mean_strat_residual"`
+	StratResidualSamples int64   `json:"strat_residual_samples"`
+	// MaxUDTCondLog10 / MeanUDTCondLog10 estimate the dynamic range the
+	// graded decomposition absorbs: log10(max|D|/min|D|).
+	MaxUDTCondLog10  float64 `json:"max_udt_cond_log10"`
+	MeanUDTCondLog10 float64 `json:"mean_udt_cond_log10"`
+	UDTCondSamples   int64   `json:"udt_cond_samples"`
+}
+
+// Metrics builds the exportable document from the collector's current
+// state. Safe on a nil collector (returns an empty document). This is the
+// cold path: it allocates freely.
+func (c *Collector) Metrics() *Metrics {
+	m := &Metrics{
+		PhaseMS:      map[string]float64{},
+		PhasePercent: map[string]float64{},
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		m.PhaseMS[p.String()] = 0
+		m.PhasePercent[p.String()] = 0
+	}
+	if c == nil {
+		return m
+	}
+	pd := c.PhaseDurations()
+	total := pd.Sum()
+	for p := Phase(0); p < NumPhases; p++ {
+		m.PhaseMS[p.String()] = float64(pd[p]) / float64(time.Millisecond)
+		if total > 0 {
+			m.PhasePercent[p.String()] = 100 * float64(pd[p]) / float64(total)
+		}
+	}
+	wall := c.Wall()
+	m.WallMS = float64(wall) / float64(time.Millisecond)
+	if wall > 0 {
+		m.PhaseCoverage = float64(total) / float64(wall)
+	}
+	m.Ops = fromCounts(c.OpDeltas())
+	if secs := wall.Seconds(); secs > 0 {
+		m.GemmGFlops = float64(m.Ops.GemmFlops) / secs / 1e9
+	}
+	c.mu.Lock()
+	s := c.stab
+	c.mu.Unlock()
+	m.Stability = StabilityMetrics{
+		MaxWrapDrift:         s.wrapDriftMax,
+		WrapDriftSamples:     s.wrapDriftN,
+		MaxStratResidual:     s.stratResMax,
+		StratResidualSamples: s.stratResN,
+		MaxUDTCondLog10:      s.condMax,
+		UDTCondSamples:       s.condN,
+	}
+	if s.stratResN > 0 {
+		m.Stability.MeanStratResidual = s.stratResSum / float64(s.stratResN)
+	}
+	if s.condN > 0 {
+		m.Stability.MeanUDTCondLog10 = s.condSum / float64(s.condN)
+	}
+	return m
+}

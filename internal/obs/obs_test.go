@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestPhaseAndOpNames(t *testing.T) {
+	wantPhases := []string{"wrap", "flush", "cluster", "refresh", "measure"}
+	for p := Phase(0); p < NumPhases; p++ {
+		if p.String() != wantPhases[p] {
+			t.Fatalf("phase %d name %q, want %q", p, p.String(), wantPhases[p])
+		}
+	}
+	seen := map[string]bool{}
+	for o := Op(0); o < NumOps; o++ {
+		n := o.String()
+		if n == "unknown" || seen[n] {
+			t.Fatalf("op %d has bad/duplicate name %q", o, n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestCountersAndDeltas(t *testing.T) {
+	c := New()
+	Add(OpWraps, 3)
+	AddGemm(4, 5, 6)
+	d := c.OpDeltas()
+	if d[OpWraps] != 3 {
+		t.Fatalf("wraps delta %d, want 3", d[OpWraps])
+	}
+	if d[OpGemmCalls] != 1 || d[OpGemmFlops] != 2*4*5*6 {
+		t.Fatalf("gemm delta calls=%d flops=%d", d[OpGemmCalls], d[OpGemmFlops])
+	}
+	// A second collector created now must not see those counts.
+	c2 := New()
+	if d2 := c2.OpDeltas(); d2[OpWraps] != 0 {
+		t.Fatalf("fresh collector sees stale wraps delta %d", d2[OpWraps])
+	}
+}
+
+func TestPhaseTiming(t *testing.T) {
+	c := New()
+	start := c.Begin()
+	time.Sleep(2 * time.Millisecond)
+	c.End(PhaseWrap, start)
+	pd := c.PhaseDurations()
+	if pd[PhaseWrap] < time.Millisecond {
+		t.Fatalf("wrap phase %v, want >= 1ms", pd[PhaseWrap])
+	}
+	if pd.Sum() != pd[PhaseWrap] {
+		t.Fatalf("sum %v != wrap %v", pd.Sum(), pd[PhaseWrap])
+	}
+}
+
+func TestStabilitySamples(t *testing.T) {
+	c := New()
+	c.SampleWrapDrift(1e-9)
+	c.SampleWrapDrift(1e-11)
+	c.SampleStratResidual(1e-13)
+	c.SampleStratResidual(3e-13)
+	c.SampleUDTCond(5)
+	c.SampleUDTCond(7)
+	m := c.Metrics()
+	s := m.Stability
+	if s.MaxWrapDrift != 1e-9 || s.WrapDriftSamples != 2 {
+		t.Fatalf("wrap drift %v/%d", s.MaxWrapDrift, s.WrapDriftSamples)
+	}
+	if s.MaxStratResidual != 3e-13 || s.StratResidualSamples != 2 {
+		t.Fatalf("strat residual %v/%d", s.MaxStratResidual, s.StratResidualSamples)
+	}
+	if s.MeanStratResidual != 2e-13 {
+		t.Fatalf("mean strat residual %v", s.MeanStratResidual)
+	}
+	if s.MaxUDTCondLog10 != 7 || s.MeanUDTCondLog10 != 6 || s.UDTCondSamples != 2 {
+		t.Fatalf("cond %v/%v/%d", s.MaxUDTCondLog10, s.MeanUDTCondLog10, s.UDTCondSamples)
+	}
+}
+
+func TestMetricsDocumentShape(t *testing.T) {
+	c := New()
+	c.End(PhaseRefresh, c.Begin())
+	c.Finish()
+	m := c.Metrics()
+	for p := Phase(0); p < NumPhases; p++ {
+		if _, ok := m.PhaseMS[p.String()]; !ok {
+			t.Fatalf("phase_ms missing key %q", p)
+		}
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Metrics
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.WallMS != m.WallMS || len(back.PhaseMS) != len(m.PhaseMS) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, m)
+	}
+}
+
+func TestNilCollectorSafe(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatal("nil collector reports enabled")
+	}
+	c.End(PhaseWrap, c.Begin())
+	c.SampleWrapDrift(1)
+	c.SampleStratResidual(1)
+	c.SampleUDTCond(1)
+	c.Reset()
+	c.Finish()
+	if c.Wall() != 0 || c.PhaseDurations().Sum() != 0 {
+		t.Fatal("nil collector returned nonzero state")
+	}
+	m := c.Metrics()
+	if m == nil || m.WallMS != 0 {
+		t.Fatalf("nil collector metrics: %+v", m)
+	}
+}
+
+// TestNilCollectorZeroAlloc is the alloc-regression gate for the disabled
+// path: every hot-loop entry point on a nil collector (and the global
+// counters, which are always on) must allocate nothing.
+func TestNilCollectorZeroAlloc(t *testing.T) {
+	var c *Collector
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := c.Begin()
+		c.End(PhaseFlush, start)
+		c.SampleWrapDrift(1e-12)
+		Add(OpWraps, 1)
+		AddGemm(8, 8, 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-collector hot path allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestEnabledCollectorZeroAlloc asserts the enabled hot path is also
+// allocation-free (timers are atomic adds, samples take a mutex only).
+func TestEnabledCollectorZeroAlloc(t *testing.T) {
+	c := New()
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := c.Begin()
+		c.End(PhaseFlush, start)
+		c.SampleWrapDrift(1e-12)
+		Add(OpWraps, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled-collector hot path allocates %v/op, want 0", allocs)
+	}
+}

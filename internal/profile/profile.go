@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"questgo/internal/obs"
 )
 
 // Category labels one row of Table I.
@@ -106,6 +108,20 @@ func (p *Profile) Percentages() [NumCategories]float64 {
 		out[i] = 100 * float64(v) / float64(total)
 	}
 	return out
+}
+
+// FromPhases converts an obs per-phase breakdown into the Table-I view:
+// wrap -> Wrapping, flush -> DelayedUpdate, cluster -> Clustering,
+// refresh -> Stratification, measure -> Measurement. The instrumentation
+// lives in obs; this package is now only the paper-facing rendering of it.
+func FromPhases(pd obs.PhaseDurations) *Profile {
+	p := New()
+	p.Add(Wrapping, pd[obs.PhaseWrap])
+	p.Add(DelayedUpdate, pd[obs.PhaseFlush])
+	p.Add(Clustering, pd[obs.PhaseCluster])
+	p.Add(Stratification, pd[obs.PhaseRefresh])
+	p.Add(Measurement, pd[obs.PhaseMeasure])
+	return p
 }
 
 // Table renders the Table-I-style breakdown.

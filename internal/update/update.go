@@ -26,8 +26,8 @@ import (
 	"questgo/internal/greens"
 	"questgo/internal/hubbard"
 	"questgo/internal/mat"
+	"questgo/internal/obs"
 	"questgo/internal/parallel"
-	"questgo/internal/profile"
 	"questgo/internal/rng"
 )
 
@@ -108,6 +108,7 @@ func (s *spinState) flush() {
 	if s.m == 0 {
 		return
 	}
+	obs.Add(obs.OpDelayedFlushes, 1)
 	uv := s.u.View(0, 0, s.u.Rows, s.m)
 	wv := s.w.View(0, 0, s.w.Rows, s.m)
 	blas.Gemm(false, true, 1, uv, wv, 1, s.g)
@@ -140,8 +141,15 @@ type Options struct {
 	// phases (reference/baseline path; the arithmetic is identical either
 	// way).
 	SerialSpins bool
-	// Prof, when non-nil, accumulates the Table-I phase timings.
-	Prof *profile.Profile
+	// Obs, when non-nil, receives per-phase timings, operation counts and
+	// stability telemetry. A nil collector costs nothing on the hot path.
+	Obs *obs.Collector
+	// StabilityEvery, when positive and Obs is enabled, compares the
+	// stack-refreshed Green's function against a full stratified rebuild
+	// every StabilityEvery cluster boundaries and records the relative
+	// residual. The check costs one extra whole-chain stratification, so it
+	// is sampled rather than continuous.
+	StabilityEvery int
 }
 
 // Sweeper runs Metropolis sweeps over the HS field, maintaining the
@@ -187,6 +195,10 @@ type Sweeper struct {
 	// wrapped Green's function and its stratified recomputation — the
 	// numerical-accuracy diagnostic that motivates the wrapping limit.
 	maxWrapDrift float64
+	// boundaries counts stratified refreshes, pacing the StabilityEvery
+	// residual check; checkStrat is set for the boundaries that sample it.
+	boundaries int64
+	checkStrat bool
 }
 
 // NewSweeper prepares a sweeper and computes the initial Green's functions
@@ -214,17 +226,19 @@ func NewSweeper(p *hubbard.Propagator, f *hubbard.Field, r *rng.Rand, opts Optio
 		dn:    newSpinState(hubbard.Down, n, opts.Delay),
 		sign:  1,
 	}
-	done := opts.Prof.Track(profile.Clustering)
+	cstart := opts.Obs.Begin()
 	sw.csUp = greens.NewClusterSet(p, f, hubbard.Up, opts.ClusterK)
 	sw.csDn = greens.NewClusterSet(p, f, hubbard.Down, opts.ClusterK)
-	done()
+	opts.Obs.End(obs.PhaseCluster, cstart)
 	sw.wrapUp = greens.NewWrapper(p)
 	sw.wrapDn = greens.NewWrapper(p)
 	if !opts.NoStack {
-		sdone := opts.Prof.Track(profile.Stratification)
+		sstart := opts.Obs.Begin()
 		sw.stUp = greens.NewStratStack(sw.csUp, opts.PrePivot)
 		sw.stDn = greens.NewStratStack(sw.csDn, opts.PrePivot)
-		sdone()
+		sw.stUp.Obs = opts.Obs
+		sw.stDn.Obs = opts.Obs
+		opts.Obs.End(obs.PhaseRefresh, sstart)
 	}
 
 	sw.wrapUpFn = func() { sw.wrapUp.Wrap(sw.up.g, sw.Field, hubbard.Up, sw.wrapSlice) }
@@ -265,13 +279,23 @@ func (sw *Sweeper) refreshSpin(s *spinState, cs *greens.ClusterSet, st *greens.S
 	gNew := mat.GetScratch(n, n)
 	if st != nil {
 		st.GreenInto(gNew)
+		if trackDrift && sw.checkStrat {
+			// Sampled stability check: the stack's amortized answer against
+			// a from-scratch stratification of the same cluster chain.
+			ref := mat.GetScratch(n, n)
+			cs.GreenAtInto(ref, sw.boundary, sw.opts.PrePivot)
+			sw.opts.Obs.SampleStratResidual(mat.RelDiff(gNew, ref))
+			mat.PutScratch(ref)
+		}
 	} else {
 		cs.GreenAtInto(gNew, sw.boundary, sw.opts.PrePivot)
 	}
 	if trackDrift && sw.proposed > 0 {
-		if d := mat.RelDiff(s.g, gNew); d > sw.maxWrapDrift {
+		d := mat.RelDiff(s.g, gNew)
+		if d > sw.maxWrapDrift {
 			sw.maxWrapDrift = d
 		}
+		sw.opts.Obs.SampleWrapDrift(d)
 	}
 	s.g.CopyFrom(gNew)
 	mat.PutScratch(gNew)
@@ -279,8 +303,13 @@ func (sw *Sweeper) refreshSpin(s *spinState, cs *greens.ClusterSet, st *greens.S
 
 // refresh recomputes both Green's functions at the current boundary.
 func (sw *Sweeper) refresh() {
-	defer sw.opts.Prof.Track(profile.Stratification)()
+	start := sw.opts.Obs.Begin()
+	sw.boundaries++
+	sw.checkStrat = sw.opts.StabilityEvery > 0 && sw.opts.Obs.Enabled() &&
+		sw.boundaries%int64(sw.opts.StabilityEvery) == 0
 	sw.fork(sw.refreshUpFn, sw.refreshDn)
+	sw.checkStrat = false
+	sw.opts.Obs.End(obs.PhaseRefresh, start)
 }
 
 // SetBoundaryHook registers h to run after every stratified refresh, when
@@ -293,35 +322,36 @@ func (sw *Sweeper) SetBoundaryHook(h func()) { sw.boundaryHook = h }
 // correspond to the full chain (cluster boundary 0), ready for equal-time
 // measurements.
 func (sw *Sweeper) Sweep() {
+	obs.Add(obs.OpSweeps, 1)
 	model := sw.Prop.Model
 	n := model.N()
 	k := sw.opts.ClusterK
 	for s := 0; s < model.L; s++ {
 		// Wrap both spins into slice s: G <- B_s G B_s^{-1}.
-		wdone := sw.opts.Prof.Track(profile.Wrapping)
+		wstart := sw.opts.Obs.Begin()
 		sw.wrapSlice = s
 		sw.fork(sw.wrapUpFn, sw.wrapDnFn)
-		wdone()
+		sw.opts.Obs.End(obs.PhaseWrap, wstart)
 
-		udone := sw.opts.Prof.Track(profile.DelayedUpdate)
+		ustart := sw.opts.Obs.Begin()
 		for i := 0; i < n; i++ {
 			sw.proposeFlip(s, i)
 		}
 		sw.fork(sw.flushUpFn, sw.flushDnFn)
-		udone()
+		sw.opts.Obs.End(obs.PhaseFlush, ustart)
 
 		if (s+1)%k == 0 {
 			c := s / k
-			cdone := sw.opts.Prof.Track(profile.Clustering)
+			cstart := sw.opts.Obs.Begin()
 			sw.cluster = c
 			sw.fork(sw.clusterUpFn, sw.clusterDn)
-			cdone()
+			sw.opts.Obs.End(obs.PhaseCluster, cstart)
 			if sw.stUp != nil {
 				// One prefix extension per boundary; GreenInto (inside
 				// refresh) combines it with the cached suffix.
-				sdone := sw.opts.Prof.Track(profile.Stratification)
+				sstart := sw.opts.Obs.Begin()
 				sw.fork(sw.advanceUpFn, sw.advanceDn)
-				sdone()
+				sw.opts.Obs.End(obs.PhaseRefresh, sstart)
 			}
 			sw.boundary = (c + 1) % sw.csUp.NC
 			sw.refresh()

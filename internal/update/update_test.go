@@ -9,7 +9,7 @@ import (
 	"questgo/internal/lapack"
 	"questgo/internal/lattice"
 	"questgo/internal/mat"
-	"questgo/internal/profile"
+	"questgo/internal/obs"
 	"questgo/internal/rng"
 )
 
@@ -197,8 +197,9 @@ func TestAcceptanceRateReasonable(t *testing.T) {
 
 func TestWrapDriftSmall(t *testing.T) {
 	p, f := setup(t, 3, 3, 4, 2, 20, 23)
-	prof := profile.New()
-	sw := NewSweeper(p, f, rng.New(5), Options{ClusterK: 10, Prof: prof})
+	col := obs.New()
+	sw := NewSweeper(p, f, rng.New(5), Options{ClusterK: 10, Obs: col, StabilityEvery: 2})
+	col.Reset()
 	for s := 0; s < 3; s++ {
 		sw.Sweep()
 	}
@@ -208,11 +209,32 @@ func TestWrapDriftSmall(t *testing.T) {
 	if sw.MaxWrapDrift() == 0 {
 		t.Fatal("drift should be nonzero after real sweeps")
 	}
-	// All profile categories except Measurement must have accumulated time.
-	for c := profile.DelayedUpdate; c < profile.Measurement; c++ {
-		if prof.Duration(c) == 0 {
-			t.Fatalf("profile category %s never timed", c.Name())
+	// All sweep phases (wrap/flush/cluster/refresh) must have accumulated
+	// time; the measure phase belongs to core, not the sweeper.
+	pd := col.PhaseDurations()
+	for p := obs.PhaseWrap; p < obs.PhaseMeasure; p++ {
+		if pd[p] == 0 {
+			t.Fatalf("phase %s never timed", p)
 		}
+	}
+	// The stability telemetry must be populated: drift samples from every
+	// refresh, residual samples every StabilityEvery boundaries, condition
+	// estimates from the stack evaluations.
+	m := col.Metrics()
+	if m.Stability.WrapDriftSamples == 0 {
+		t.Fatal("no wrap-drift samples recorded")
+	}
+	if m.Stability.StratResidualSamples == 0 {
+		t.Fatal("no stratification-residual samples recorded")
+	}
+	if m.Stability.MaxStratResidual > 1e-9 {
+		t.Fatalf("stack residual %g vs full rebuild too large", m.Stability.MaxStratResidual)
+	}
+	if m.Stability.UDTCondSamples == 0 {
+		t.Fatal("no UDT condition samples recorded")
+	}
+	if m.Ops.Wraps == 0 || m.Ops.UDTSteps == 0 || m.Ops.Sweeps != 3 {
+		t.Fatalf("op counters not populated: %+v", m.Ops)
 	}
 }
 

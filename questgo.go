@@ -12,20 +12,29 @@
 //
 // Quickstart:
 //
-//	cfg := questgo.DefaultConfig()
-//	cfg.Nx, cfg.Ny = 4, 4
-//	cfg.U, cfg.Beta, cfg.L = 4, 4, 40
-//	sim, err := questgo.NewSimulation(cfg)
+//	cfg, err := questgo.NewConfig(
+//		questgo.WithLattice(4, 4),
+//		questgo.WithInteraction(4, 0),
+//		questgo.WithTemperature(4, 40),
+//	)
 //	if err != nil { ... }
-//	res := sim.Run()
+//	res, err := questgo.Run(context.Background(), cfg)
+//	if err != nil { ... }
 //	fmt.Println(res.Density, res.DoubleOcc, res.SAF)
+//	fmt.Println(res.Metrics.PhaseMS, res.Metrics.Stability.MaxWrapDrift)
+//
+// Run accepts options (WithProgress, WithWalkers, WithCheckpointOnCancel)
+// and stops cleanly at the next sweep when ctx is canceled. The older
+// NewSimulation / Simulation.Run / RunParallel surface remains available.
 package questgo
 
 import (
+	"context"
 	"fmt"
 
 	"questgo/internal/config"
 	"questgo/internal/core"
+	"questgo/internal/obs"
 )
 
 // Config specifies a DQMC simulation; see core.Config for field docs.
@@ -48,12 +57,62 @@ type Checkpoint = core.Checkpoint
 // Simulation.SampleSusceptibility.
 type ChiResult = core.ChiResult
 
+// Metrics is the exportable metrics document of a run: per-phase wall-time
+// breakdown, operation counts and numerical-stability telemetry.
+type Metrics = obs.Metrics
+
+// ConfigOption adjusts one aspect of a Config under construction; see
+// NewConfig and Config.With.
+type ConfigOption = core.ConfigOption
+
+// RunOption configures a Run call; see WithProgress, WithWalkers,
+// WithCheckpointOnCancel.
+type RunOption = core.RunOption
+
+// Configuration builder options (see the core package for docs).
+var (
+	WithLattice           = core.WithLattice
+	WithLayers            = core.WithLayers
+	WithHopping           = core.WithHopping
+	WithInteraction       = core.WithInteraction
+	WithTemperature       = core.WithTemperature
+	WithSchedule          = core.WithSchedule
+	WithClusterK          = core.WithClusterK
+	WithDelay             = core.WithDelay
+	WithPrePivot          = core.WithPrePivot
+	WithNoStack           = core.WithNoStack
+	WithSerialSpins       = core.WithSerialSpins
+	WithMeasureBoundaries = core.WithMeasureBoundaries
+	WithMeasureDynamics   = core.WithMeasureDynamics
+	WithStabilityCheck    = core.WithStabilityCheck
+	WithSeed              = core.WithSeed
+)
+
+// Run options.
+var (
+	WithProgress           = core.WithProgress
+	WithWalkers            = core.WithWalkers
+	WithCheckpointOnCancel = core.WithCheckpointOnCancel
+)
+
 // DefaultConfig returns a small, fast, physically sensible configuration
 // (half-filled 4x4 Hubbard model).
 func DefaultConfig() Config { return core.DefaultConfig() }
 
+// NewConfig builds a validated configuration from DefaultConfig plus the
+// given options.
+func NewConfig(opts ...ConfigOption) (Config, error) { return core.NewConfig(opts...) }
+
+// Run is the unified entry point: it validates and builds the simulation,
+// executes the schedule under ctx (canceling stops between sweeps), and
+// returns Results carrying the metrics document.
+func Run(ctx context.Context, cfg Config, opts ...RunOption) (*Results, error) {
+	return core.Run(ctx, cfg, opts...)
+}
+
 // RunParallel runs independent walkers of the same configuration
-// concurrently and merges their statistics.
+// concurrently and merges their statistics. Compatibility wrapper over
+// Run(ctx, cfg, WithWalkers(walkers)).
 func RunParallel(cfg Config, walkers int) (*Results, error) {
 	return core.RunParallel(cfg, walkers)
 }

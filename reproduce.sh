@@ -12,11 +12,19 @@ else
     BSIZES=${BSIZES:-8,12,16}
 fi
 
-echo "== Verify: vet, race tests, kernel + sweep regression bench"
+echo "== Verify: fmt, vet, race tests, kernel + sweep regression bench"
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
 go vet ./...
-go test -race ./internal/parallel/ ./internal/blas/ ./internal/update/ ./internal/greens/
+go test -race ./internal/parallel/ ./internal/blas/ ./internal/update/ ./internal/greens/ ./internal/obs/
 go run ./cmd/kernels -sizes 64,128,256,512,1024 -reps 2 -json BENCH_gemm.json
 go run ./cmd/sweep -json BENCH_sweep.json -bsizes $BSIZES -bsweeps 2
+echo "== Verify: metrics instrumentation overhead gate (<2% on the sweep hot path)"
+go run ./cmd/sweep -obscheck -obsnx 8 -obsreps 3 -obsmax 2
 
 if [ "${PAPER_SCALE:-0}" = "1" ]; then
     KSIZES=128,256,384,512,768,1024
