@@ -1,0 +1,78 @@
+// Command qmclint runs the repo-specific static-analysis suite over the
+// given packages (default ./...) and exits non-zero on any diagnostic.
+// reproduce.sh runs it as part of the verify block, next to go vet.
+//
+// Usage:
+//
+//	go run ./cmd/qmclint [-run name,name] [-list] [packages...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"questgo/internal/analysis"
+)
+
+func main() {
+	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *runNames != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0:0]
+		for _, n := range strings.Split(*runNames, ",") {
+			a, ok := byName[strings.TrimSpace(n)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "qmclint: unknown analyzer %q (use -list)\n", n)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qmclint: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qmclint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, p := range pkgs {
+		if p.TypeErr != nil {
+			fmt.Fprintf(os.Stderr, "qmclint: warning: %s: type checking incomplete: %v\n", p.PkgPath, p.TypeErr)
+		}
+	}
+
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qmclint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "qmclint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

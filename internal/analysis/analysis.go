@@ -1,0 +1,276 @@
+// Package analysis is qmclint: a repo-specific static-analysis suite that
+// machine-checks the invariants the fast paths rely on — the properties the
+// compiler cannot see but PRs 1–3 bought their throughput with.
+//
+// The Go module proxy is not available in the build environment, so the
+// suite does not depend on golang.org/x/tools/go/analysis; instead it
+// implements the same analyzer/pass/diagnostic shape on the standard
+// library (go/ast + go/types with the source importer, packages enumerated
+// by `go list -json`). The API is deliberately a subset of x/tools so the
+// analyzers could be ported to a real multichecker verbatim if the
+// dependency ever becomes available.
+//
+// Analyzers (run all of them with `go run ./cmd/qmclint ./...`):
+//
+//   - hotalloc: no make/append/new/closure/fmt allocations in //qmc:hot
+//     functions (and anywhere in internal/blas, which is hot top to bottom);
+//     hot-path buffers must route through the mat scratch pools.
+//   - poolpair: every mat.GetScratch has a matching mat.PutScratch in the
+//     same function, and scratch never escapes through a return.
+//   - obscharge: kernels annotated //qmc:charges Op must charge that
+//     internal/obs counter, the known kernel entry points must carry the
+//     annotation, and no counter is charged without one — so the metrics
+//     document cannot silently rot.
+//   - dimcheck: provably mismatched matrix shapes at blas/mat call sites
+//     (dimensions inferred from local mat.New/GetScratch literals).
+//   - rngdiscipline: math/rand is forbidden outside internal/rng; all
+//     stochastic behavior must flow through the deterministic xoshiro
+//     streams or trajectories stop being reproducible.
+//   - nakedpanic: kernel panics about shapes must carry the offending
+//     dimensions (fmt.Sprintf), not a bare string.
+//   - errcheck: cmd/* must not drop errors from flag/JSON/file handling.
+//
+// # Annotations
+//
+//	//qmc:hot                    function must be allocation-free (hotalloc)
+//	//qmc:charges Op1[,Op2...]   function charges these obs counters (obscharge)
+//	//qmc:allow name[,name] -- why   suppress named analyzers on this or the
+//	                                 next line (a justification is required)
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a pass and reports diagnostics
+// through pass.Reportf.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned for file:line:col display.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	PkgPath  string
+	Pkg      *types.Package // may be nil if type-checking failed badly
+	Info     *types.Info    // always non-nil; maps may be sparse on type errors
+
+	diags    *[]Diagnostic
+	suppress map[string]map[int][]string // filename -> line -> allowed analyzer names
+}
+
+// Reportf records a diagnostic at pos unless a //qmc:allow comment on the
+// same or the preceding line waives this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.allowed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) allowed(pos token.Position) bool {
+	lines := p.suppress[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildSuppressions indexes every //qmc:allow comment by file and line.
+// The directive form is `//qmc:allow name[,name...] -- justification`. A
+// directive without a justification is ignored — the diagnostic keeps
+// firing — so every waiver in the tree states why it is safe.
+func buildSuppressions(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	sup := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//qmc:allow ")
+				if !ok {
+					continue
+				}
+				names, why, found := strings.Cut(rest, "--")
+				if !found || strings.TrimSpace(why) == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					sup[pos.Filename] = lines
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						lines[pos.Line] = append(lines[pos.Line], n)
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// hasDirective reports whether the doc comment carries the exact directive
+// line (e.g. "//qmc:hot").
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveArgs returns the comma-separated arguments of a doc directive
+// like `//qmc:charges OpGemmCalls,OpGemmFlops`, and whether it is present.
+func directiveArgs(doc *ast.CommentGroup, prefix string) ([]string, bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, prefix+" ")
+		if !ok {
+			continue
+		}
+		var args []string
+		for _, a := range strings.Split(rest, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				args = append(args, a)
+			}
+		}
+		return args, true
+	}
+	return nil, false
+}
+
+// pkgSelector resolves a selector expression like obs.Add to
+// (importPath, funcName) when its base names an imported package. When
+// type information is missing it falls back to the syntactic package name,
+// resolved through the file imports.
+func (p *Pass) pkgSelector(f *ast.File, e ast.Expr) (path, name string) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if p.Info != nil {
+		if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+			return pn.Imported().Path(), sel.Sel.Name
+		}
+		if _, ok := p.Info.Uses[id]; ok {
+			return "", "" // a real object, not a package qualifier
+		}
+	}
+	for _, imp := range f.Imports {
+		ipath := strings.Trim(imp.Path.Value, `"`)
+		name := ipath[strings.LastIndex(ipath, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return ipath, sel.Sel.Name
+		}
+	}
+	return "", ""
+}
+
+// isBuiltin reports whether id names the given predeclared function (make,
+// append, new, panic, ...), i.e. it is not shadowed by a local object.
+func (p *Pass) isBuiltin(id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[id]; ok {
+			_, builtin := obj.(*types.Builtin)
+			return builtin
+		}
+	}
+	return true
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position.
+func RunAnalyzers(pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := buildSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				PkgPath:  pkg.PkgPath,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+				suppress: sup,
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full qmclint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		HotAlloc,
+		PoolPair,
+		ObsCharge,
+		DimCheck,
+		RngDiscipline,
+		NakedPanic,
+		ErrCheck,
+	}
+}

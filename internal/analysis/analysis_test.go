@@ -1,0 +1,46 @@
+package analysis
+
+import "testing"
+
+// TestFixtures runs every analyzer against its testdata package(s); each
+// fixture mixes positive lines (tagged `// want "substring"`) with
+// negative ones that must stay silent.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		dir      string
+	}{
+		{HotAlloc, "hotalloc"},
+		{PoolPair, "poolpair"},
+		{ObsCharge, "obscharge"},
+		{DimCheck, "dimcheck"},
+		{RngDiscipline, "rngdiscipline"},
+		{RngDiscipline, "rngdiscipline_ok"},
+		{NakedPanic, "nakedpanic"},
+		{ErrCheck, "errcheck"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir+"/"+c.analyzer.Name, func(t *testing.T) {
+			RunFixture(t, c.analyzer, c.dir)
+		})
+	}
+}
+
+// TestAllRegistered keeps cmd/qmclint's -list in sync with the suite.
+func TestAllRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 7 {
+		t.Fatalf("All() returned %d analyzers, want 7", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v is missing a name, doc or run function", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// This file is a miniature analysistest: fixture packages live under
+// testdata/<analyzer>/, and lines that should trigger a diagnostic carry a
+// trailing `// want "substring"` comment (several substrings allowed). The
+// harness type-checks the fixture with the source importer — fixtures may
+// import the real questgo packages — runs one analyzer, and diffs the
+// diagnostics against the expectations.
+//
+// Because several analyzers key on the package import path (obscharge only
+// fires in kernel packages, rngdiscipline exempts internal/rng, ...), a
+// fixture may pin its path with a magic first-line comment:
+//
+//	//qmclint:path questgo/internal/blas
+
+// TB is the subset of *testing.T the harness needs; keeping it an
+// interface avoids importing testing into the library.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+	Fatalf(format string, args ...interface{})
+}
+
+var wantRE = regexp.MustCompile(`// want (.+)$`)
+
+// RunFixture analyzes testdata/<dir> with a and compares diagnostics
+// against the fixture's want comments.
+func RunFixture(t TB, a *Analyzer, dir string) {
+	t.Helper()
+	pattern := filepath.Join("testdata", dir, "*.go")
+	names, err := filepath.Glob(pattern)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files match %s", pattern)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	pkgPath := "fixture/" + dir
+	type want struct {
+		substr  string
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "//qmclint:path "); ok {
+					pkgPath = strings.TrimSpace(rest)
+				}
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range splitQuoted(m[1]) {
+					wants[key] = append(wants[key], &want{substr: q})
+				}
+			}
+		}
+	}
+
+	pkg := typeCheck(fset, importer.ForCompiler(fset, "source", nil), pkgPath, filepath.Dir(names[0]), files)
+	diags, err := RunAnalyzers([]*LoadedPackage{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", dir, d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: %s: missing diagnostic containing %q", dir, key, w.substr)
+			}
+		}
+	}
+}
+
+// splitQuoted extracts the double-quoted substrings of a want clause, e.g.
+// `"a" "b"` -> [a b].
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		j := strings.IndexByte(s[i+1:], '"')
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[i+1:i+1+j])
+		s = s[i+j+2:]
+	}
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"strconv"
+)
+
+// DimCheck flags provably mismatched matrix shapes at blas/mat call sites.
+// It tracks local variables bound once to mat.New(r, c) or
+// mat.GetScratch(r, c) whose dimensions evaluate to compile-time integer
+// constants, and then checks the shape contracts of blas.Gemm / blas.GemmTN
+// and mat's TransposeInto/CopyFrom. Only *provable* mismatches are
+// reported: unknown or symbolic dimensions stay silent, and a variable
+// that is ever reassigned is dropped. This turns the runtime dimension
+// panics of the kernels into build-time findings for the static subset.
+var DimCheck = &Analyzer{
+	Name: "dimcheck",
+	Doc:  "provably mismatched matrix dimensions at blas/mat call sites",
+	Run:  runDimCheck,
+}
+
+type dims struct{ r, c int }
+
+func runDimCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDims(pass, f, fd)
+		}
+	}
+	return nil
+}
+
+func checkDims(pass *Pass, file *ast.File, fd *ast.FuncDecl) {
+	shapes := make(map[string]dims)
+	assigns := make(map[string]int)
+
+	// intConst evaluates e as a compile-time int if possible.
+	intConst := func(e ast.Expr) (int, bool) {
+		if pass.Info != nil {
+			if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+				if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+					return int(v), true
+				}
+			}
+		}
+		if lit, ok := e.(*ast.BasicLit); ok {
+			if v, err := strconv.Atoi(lit.Value); err == nil {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+
+	// Pass 1: collect constructor-bound shapes and count assignments.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			assigns[id.Name]++
+			if i >= len(as.Rhs) {
+				continue
+			}
+			call, ok := as.Rhs[i].(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				continue
+			}
+			if path, sel := pass.pkgSelector(file, call.Fun); path != pkgMat || (sel != "New" && sel != "GetScratch") {
+				continue
+			}
+			r, rok := intConst(call.Args[0])
+			c, cok := intConst(call.Args[1])
+			if rok && cok {
+				shapes[id.Name] = dims{r, c}
+			}
+		}
+		return true
+	})
+	for name, n := range assigns {
+		if n > 1 {
+			delete(shapes, name) // reassigned: shape no longer provable
+		}
+	}
+
+	shapeOf := func(e ast.Expr) (dims, bool) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return dims{}, false
+		}
+		d, ok := shapes[id.Name]
+		return d, ok
+	}
+	boolLit := func(e ast.Expr) (bool, bool) {
+		if id, ok := e.(*ast.Ident); ok {
+			switch id.Name {
+			case "true":
+				return true, true
+			case "false":
+				return false, true
+			}
+		}
+		return false, false
+	}
+
+	// Pass 2: check call-site contracts.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, sel := pass.pkgSelector(file, call.Fun)
+		switch {
+		case path == pkgBlas && sel == "Gemm" && len(call.Args) == 7:
+			ta, taok := boolLit(call.Args[0])
+			tb, tbok := boolLit(call.Args[1])
+			if taok && tbok {
+				checkGemmShapes(pass, call, ta, tb, shapeOf)
+			}
+		case path == pkgBlas && sel == "GemmTN" && len(call.Args) == 5:
+			checkGemmTNShapes(pass, call, shapeOf)
+		default:
+			checkMatMethodShapes(pass, call, shapes)
+		}
+		return true
+	})
+}
+
+func checkGemmShapes(pass *Pass, call *ast.CallExpr, ta, tb bool, shapeOf func(ast.Expr) (dims, bool)) {
+	a, aok := shapeOf(call.Args[3])
+	b, bok := shapeOf(call.Args[4])
+	c, cok := shapeOf(call.Args[6])
+	reportGemm(pass, call, ta, tb, a, aok, b, bok, c, cok)
+}
+
+func checkGemmTNShapes(pass *Pass, call *ast.CallExpr, shapeOf func(ast.Expr) (dims, bool)) {
+	a, aok := shapeOf(call.Args[1])
+	b, bok := shapeOf(call.Args[2])
+	c, cok := shapeOf(call.Args[4])
+	reportGemm(pass, call, true, false, a, aok, b, bok, c, cok)
+}
+
+func reportGemm(pass *Pass, call *ast.CallExpr, ta, tb bool, a dims, aok bool, b dims, bok bool, c dims, cok bool) {
+	am, ak := a.r, a.c
+	if ta {
+		am, ak = ak, am
+	}
+	bk, bn := b.r, b.c
+	if tb {
+		bk, bn = bn, bk
+	}
+	if aok && bok && ak != bk {
+		pass.Reportf(call.Pos(), "Gemm inner dimensions disagree: op(A) is %dx%d but op(B) is %dx%d", am, ak, bk, bn)
+	}
+	if aok && cok && am != c.r {
+		pass.Reportf(call.Pos(), "Gemm output rows disagree: op(A) has %d rows but C is %dx%d", am, c.r, c.c)
+	}
+	if bok && cok && bn != c.c {
+		pass.Reportf(call.Pos(), "Gemm output cols disagree: op(B) has %d cols but C is %dx%d", bn, c.r, c.c)
+	}
+}
+
+// checkMatMethodShapes validates receiver/argument shape contracts of the
+// alloc-free mat.Dense methods used on hot paths.
+func checkMatMethodShapes(pass *Pass, call *ast.CallExpr, shapes map[string]dims) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	rd, rok := shapes[recv.Name]
+	if !rok || len(call.Args) != 1 {
+		return
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	ad, aok := shapes[arg.Name]
+	if !aok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "TransposeInto":
+		if ad.r != rd.c || ad.c != rd.r {
+			pass.Reportf(call.Pos(), "TransposeInto destination is %dx%d but the source is %dx%d (need %dx%d)",
+				ad.r, ad.c, rd.r, rd.c, rd.c, rd.r)
+		}
+	case "CopyFrom":
+		if ad.r != rd.r || ad.c != rd.c {
+			pass.Reportf(call.Pos(), "CopyFrom source is %dx%d but the destination is %dx%d", ad.r, ad.c, rd.r, rd.c)
+		}
+	}
+}

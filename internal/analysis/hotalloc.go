@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Module-internal package paths the analyzers key on.
+const (
+	pkgBlas     = "questgo/internal/blas"
+	pkgLapack   = "questgo/internal/lapack"
+	pkgGreens   = "questgo/internal/greens"
+	pkgUpdate   = "questgo/internal/update"
+	pkgGPU      = "questgo/internal/gpu"
+	pkgMat      = "questgo/internal/mat"
+	pkgObs      = "questgo/internal/obs"
+	pkgParallel = "questgo/internal/parallel"
+	pkgRng      = "questgo/internal/rng"
+)
+
+// autoHotPackages are checked in full: every function is treated as if it
+// carried //qmc:hot. internal/blas is the innermost kernel layer — nothing
+// in it is ever off the hot path.
+var autoHotPackages = map[string]bool{
+	pkgBlas: true,
+}
+
+// HotAlloc rejects per-call allocations in //qmc:hot functions: make,
+// append, new, slice/map composite literals, func literals (closure
+// capture), method values, go statements and fmt calls. Hot-path buffers
+// must come from the mat scratch pools (GetScratch/PutScratch) or be
+// pre-bound at construction time, which is what keeps the delayed-update
+// and wrapping loops at level-3 throughput. Panic arguments are exempt:
+// they only evaluate on the failure path, so fmt.Sprintf diagnostics there
+// are free.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocations in //qmc:hot functions and the blas kernel package",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasDirective(fd.Doc, "//qmc:hot") && !autoHotPackages[pass.PkgPath] {
+				continue
+			}
+			(&hotWalker{pass: pass, file: f}).walk(fd.Body, 0)
+		}
+	}
+	return nil
+}
+
+// hotWalker traverses a hot function body tracking loop depth (a deferred
+// closure is only alloc-free when the defer is not in a loop).
+type hotWalker struct {
+	pass *Pass
+	file *ast.File
+}
+
+func (w *hotWalker) walk(n ast.Node, loopDepth int) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		loopDepth++
+	case *ast.DeferStmt:
+		// defer func() { ... }() outside a loop uses an open-coded defer:
+		// the closure does not escape, so scratch-release blocks stay legal.
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && loopDepth == 0 {
+			for _, arg := range n.Call.Args {
+				w.walk(arg, loopDepth)
+			}
+			w.walk(lit.Body, loopDepth)
+			return
+		}
+	case *ast.CallExpr:
+		if id, ok := n.Fun.(*ast.Ident); ok {
+			switch {
+			case w.pass.isBuiltin(id, "panic"):
+				// Failure path: diagnostics may format freely.
+				return
+			case w.pass.isBuiltin(id, "make"), w.pass.isBuiltin(id, "append"), w.pass.isBuiltin(id, "new"):
+				w.pass.Reportf(n.Pos(), "hot path calls %s (allocates); use the mat scratch pools or a pre-bound buffer", id.Name)
+			}
+		}
+		if path, name := w.pass.pkgSelector(w.file, n.Fun); path == "fmt" {
+			w.pass.Reportf(n.Pos(), "hot path calls fmt.%s (allocates and reflects); move formatting off the hot path", name)
+		}
+	case *ast.CompositeLit:
+		switch n.Type.(type) {
+		case *ast.ArrayType:
+			if n.Type.(*ast.ArrayType).Len == nil {
+				w.pass.Reportf(n.Pos(), "hot path builds a slice literal (allocates); use the mat scratch pools or a pre-bound buffer")
+			}
+		case *ast.MapType:
+			w.pass.Reportf(n.Pos(), "hot path builds a map literal (allocates)")
+		}
+	case *ast.FuncLit:
+		w.pass.Reportf(n.Pos(), "hot path creates a closure (allocates); pre-bind it at construction time")
+		return // the body is not on this function's hot path
+	case *ast.GoStmt:
+		w.pass.Reportf(n.Pos(), "hot path spawns a goroutine; route fork/join through the persistent parallel pool")
+	case *ast.SelectorExpr:
+		// A method value (m.F used as a value, not called) allocates its
+		// bound receiver. Detectable only with type info.
+		if w.pass.Info != nil {
+			if sel, ok := w.pass.Info.Selections[n]; ok && sel.Kind() == types.MethodVal && !w.isCalled(n) {
+				w.pass.Reportf(n.Pos(), "hot path takes a method value of %s (allocates); pre-bind it at construction time", n.Sel.Name)
+			}
+		}
+	}
+	for _, c := range childNodes(n) {
+		w.walk(c, loopDepth)
+	}
+}
+
+// isCalled reports whether sel appears as the callee of some call in the
+// enclosing file (cheap approximation: sel is a callee iff its parent call
+// records it; we just check the direct parent via re-inspection).
+func (w *hotWalker) isCalled(sel *ast.SelectorExpr) bool {
+	called := false
+	ast.Inspect(w.file, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && call.Fun == sel {
+			called = true
+		}
+		return !called
+	})
+	return called
+}
+
+// childNodes returns the direct children of n, in source order.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+)
+
+// LoadedPackage is one parsed and type-checked package, ready for analysis.
+type LoadedPackage struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErr holds the first type-checking error, if any. Analysis still
+	// runs (the analyzers are resilient to sparse type info), but drivers
+	// may want to surface it.
+	TypeErr error
+}
+
+// Load enumerates the packages matching patterns (go list syntax, e.g.
+// "./...") under dir, parses their non-test Go files and type-checks them
+// with the source importer. It needs only the Go toolchain — no module
+// downloads — which keeps qmclint runnable in hermetic build environments.
+func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*LoadedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var meta struct {
+			ImportPath string
+			Dir        string
+			GoFiles    []string
+		}
+		if err := dec.Decode(&meta); err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if len(meta.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range meta.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkgs = append(pkgs, typeCheck(fset, imp, meta.ImportPath, meta.Dir, files))
+	}
+	return pkgs, nil
+}
+
+// typeCheck runs go/types over one package, tolerating errors: a package
+// that fails to type-check fully still gets analyzed with whatever info
+// was recovered.
+func typeCheck(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []*ast.File) *LoadedPackage {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, files, info)
+	return &LoadedPackage{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		TypeErr: firstErr,
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ObsCharge keeps the internal/obs operation counters honest in three
+// directions:
+//
+//  1. A function annotated `//qmc:charges Op1[,Op2]` must actually charge
+//     each listed counter in its body (obs.Add(obs.OpX, ...), or
+//     obs.AddGemm for the OpGemmCalls/OpGemmFlops pair).
+//  2. The known kernel entry points (registry below) must carry the
+//     annotation — adding a new GEMM path that forgets to charge flops
+//     fails the build instead of silently rotting the metrics document.
+//  3. Inside the kernel packages, no counter may be charged from a
+//     function that lacks the annotation, so the annotations stay in sync
+//     with the code.
+var ObsCharge = &Analyzer{
+	Name: "obscharge",
+	Doc:  "kernel entry points must charge their internal/obs counters",
+	Run:  runObsCharge,
+}
+
+// obsKernelRegistry lists, per kernel package, the functions that *must*
+// be annotated (and therefore charge): the operations the paper's Table I
+// profile and the JSON metrics document are derived from.
+var obsKernelRegistry = map[string]map[string]string{
+	pkgBlas: {
+		"Gemm": "OpGemmCalls",
+	},
+	pkgLapack: {
+		"QRFactor":  "OpQRFactorizations",
+		"QRPFactor": "OpQRPFactorizations",
+	},
+	pkgGreens: {
+		"Wrap":        "OpWraps",
+		"initUDT":     "OpUDTSteps",
+		"extendUDT":   "OpUDTSteps",
+		"combineInto": "OpUDTSteps",
+	},
+	pkgUpdate: {
+		"flush": "OpDelayedFlushes",
+		"Sweep": "OpSweeps",
+	},
+	pkgGPU: {
+		"chargeTransfer": "OpDeviceBytes",
+		"chargeKernel":   "OpDeviceKernels",
+		"Wrap":           "OpWraps",
+		"flush":          "OpDelayedFlushes",
+		"Sweep":          "OpSweeps",
+	},
+}
+
+// obsChargePackages is where rule 3 (no unannotated charges) applies.
+var obsChargePackages = map[string]bool{
+	pkgBlas:   true,
+	pkgLapack: true,
+	pkgGreens: true,
+	pkgUpdate: true,
+	pkgGPU:    true,
+}
+
+func runObsCharge(pass *Pass) error {
+	registry := obsKernelRegistry[pass.PkgPath]
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			declared, annotated := directiveArgs(fd.Doc, "//qmc:charges")
+			charged := chargedOps(pass, f, fd)
+
+			if annotated {
+				for _, op := range declared {
+					if !charged[op] {
+						pass.Reportf(fd.Pos(), "%s declares //qmc:charges %s but never calls obs.Add(obs.%s, ...)%s",
+							fd.Name.Name, op, op, gemmHint(op))
+					}
+				}
+			} else {
+				if op, required := registry[fd.Name.Name]; required {
+					pass.Reportf(fd.Pos(), "kernel entry point %s must be annotated //qmc:charges %s (and charge it)", fd.Name.Name, op)
+				}
+				if len(charged) > 0 && obsChargePackages[pass.PkgPath] {
+					ops := make([]string, 0, len(charged))
+					for op := range charged {
+						ops = append(ops, op)
+					}
+					pass.Reportf(fd.Pos(), "%s charges obs counters without a //qmc:charges annotation (charges: %s)",
+						fd.Name.Name, strings.Join(ops, ","))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func gemmHint(op string) string {
+	if op == "OpGemmCalls" || op == "OpGemmFlops" {
+		return " (obs.AddGemm also satisfies it)"
+	}
+	return ""
+}
+
+// chargedOps returns the set of obs counter names fd's body charges.
+// obs.AddGemm counts as charging both OpGemmCalls and OpGemmFlops.
+func chargedOps(pass *Pass, file *ast.File, fd *ast.FuncDecl) map[string]bool {
+	ops := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name := pass.pkgSelector(file, call.Fun)
+		if path != pkgObs {
+			return true
+		}
+		switch name {
+		case "AddGemm":
+			ops["OpGemmCalls"] = true
+			ops["OpGemmFlops"] = true
+		case "Add":
+			if len(call.Args) >= 1 {
+				if opPath, opName := pass.pkgSelector(file, call.Args[0]); opPath == pkgObs {
+					ops[opName] = true
+				}
+			}
+		}
+		return true
+	})
+	return ops
+}

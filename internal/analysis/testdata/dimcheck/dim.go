@@ -1,0 +1,59 @@
+// Package fixture exercises the dimcheck analyzer: provable constant
+// shape mismatches at blas/mat call sites are findings; symbolic or
+// reassigned shapes stay silent.
+package fixture
+
+import (
+	"questgo/internal/blas"
+	"questgo/internal/mat"
+)
+
+func bad() {
+	a := mat.New(4, 3)
+	b := mat.New(5, 6)
+	c := mat.New(4, 6)
+	blas.Gemm(false, false, 1, a, b, 0, c) // want "inner dimensions disagree"
+}
+
+func good() {
+	a := mat.New(4, 3)
+	b := mat.New(3, 6)
+	c := mat.New(4, 6)
+	blas.Gemm(false, false, 1, a, b, 0, c)
+}
+
+func transFlagsGood() {
+	a := mat.New(3, 4) // op(A) = A^T is 4x3
+	b := mat.New(3, 6)
+	c := mat.New(4, 6)
+	blas.Gemm(true, false, 1, a, b, 0, c)
+}
+
+func badOutput() {
+	a := mat.New(4, 3)
+	b := mat.New(3, 6)
+	c := mat.New(5, 6)
+	blas.Gemm(false, false, 1, a, b, 0, c) // want "output rows disagree"
+}
+
+func reassignedSilent(n int) {
+	a := mat.New(4, 3)
+	a = mat.New(n, n) // shape no longer provable
+	b := mat.New(5, 6)
+	c := mat.New(4, 6)
+	blas.Gemm(false, false, 1, a, b, 0, c)
+}
+
+func transposeBad() {
+	src := mat.GetScratch(3, 5)
+	dst := mat.GetScratch(3, 5)
+	src.TransposeInto(dst) // want "need 5x3"
+	mat.PutScratch(src)
+	mat.PutScratch(dst)
+}
+
+func copyBad() {
+	src := mat.New(3, 5)
+	dst := mat.New(5, 3)
+	dst.CopyFrom(src) // want "CopyFrom source is 3x5"
+}

@@ -1,0 +1,27 @@
+//qmclint:path questgo/cmd/fixture
+
+// Package main exercises the errcheck analyzer: cmd/* must not drop
+// returned errors; fmt printing and Builder writes are exempt.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func run() error { return nil }
+
+func main() {
+	run()             // want "discarded"
+	fmt.Println("ok") // fmt terminal printing: exempt
+	var sb strings.Builder
+	sb.WriteString("x") // Builder writes never fail: exempt
+	f, err := os.Open("fixture")
+	if err != nil {
+		return
+	}
+	defer f.Close() // want "discarded"
+	_ = run()       // explicit drop: fine
+	fmt.Println(sb.String())
+}

@@ -1,0 +1,42 @@
+//qmclint:path questgo/internal/greens
+
+// Package fixture exercises the hotalloc analyzer: allocations in
+// //qmc:hot functions are findings, cold functions and panic arguments
+// are not, and //qmc:allow suppresses with a justification.
+package fixture
+
+import "fmt"
+
+//qmc:hot
+func hotBad(n int) []float64 {
+	buf := make([]float64, n) // want "calls make"
+	fmt.Println(n)            // want "calls fmt.Println"
+	f := func() {}            // want "creates a closure"
+	f()
+	lit := []float64{1, 2} // want "slice literal"
+	_ = lit
+	return buf
+}
+
+func coldOK(n int) []float64 {
+	return make([]float64, n) // cold function: no finding
+}
+
+//qmc:hot
+func hotAllowed(n int) []float64 {
+	//qmc:allow hotalloc -- fixture: result escapes to the caller
+	return make([]float64, n)
+}
+
+//qmc:hot
+func hotUnjustifiedAllow(n int) []float64 {
+	//qmc:allow hotalloc
+	return make([]float64, n) // want "calls make"
+}
+
+//qmc:hot
+func hotPanicOK(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("fixture: negative dimension %d", n)) // failure path: exempt
+	}
+}

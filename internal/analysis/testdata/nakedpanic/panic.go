@@ -1,0 +1,23 @@
+//qmclint:path questgo/internal/blas
+
+// Package fixture exercises the nakedpanic analyzer: kernel shape panics
+// must carry the offending dimensions.
+package fixture
+
+import "fmt"
+
+func bad(n int) {
+	if n < 0 {
+		panic("blas: dimension mismatch") // want "carries no dimensions"
+	}
+}
+
+func good(n, m int) {
+	if n != m {
+		panic(fmt.Sprintf("blas: dimension mismatch: %d vs %d", n, m))
+	}
+}
+
+func unrelatedOK() {
+	panic("not a shape complaint")
+}

@@ -1,0 +1,29 @@
+//qmclint:path questgo/internal/lapack
+
+// Package fixture exercises the obscharge analyzer against the lapack
+// slot of the kernel registry: QRFactor/QRPFactor must be annotated and
+// charge, declared charges must happen, and charges need annotations.
+package fixture
+
+import "questgo/internal/obs"
+
+func QRFactor() { // want "must be annotated //qmc:charges OpQRFactorizations"
+}
+
+//qmc:charges OpQRPFactorizations
+func QRPFactor() {
+	obs.Add(obs.OpQRPFactorizations, 1)
+}
+
+//qmc:charges OpUDTSteps
+func declaredButSilent() { // want "never calls obs.Add"
+}
+
+func unannotatedCharge() { // want "without a //qmc:charges annotation"
+	obs.Add(obs.OpWraps, 1)
+}
+
+//qmc:charges OpGemmCalls,OpGemmFlops
+func viaAddGemm() {
+	obs.AddGemm(2, 3, 4)
+}

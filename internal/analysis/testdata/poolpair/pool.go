@@ -1,0 +1,32 @@
+// Package fixture exercises the poolpair analyzer: every mat.GetScratch
+// needs a same-function mat.PutScratch, and scratch must not escape.
+package fixture
+
+import "questgo/internal/mat"
+
+func leak(n int) {
+	s := mat.GetScratch(n, n) // want "no mat.PutScratch"
+	s.Set(0, 0, 1)
+}
+
+func escape(n int) *mat.Dense {
+	s := mat.GetScratch(n, n) // want "escapes via return" "no mat.PutScratch"
+	return s
+}
+
+func good(n int) {
+	s := mat.GetScratch(n, n)
+	defer mat.PutScratch(s)
+	s.Set(0, 0, 1)
+}
+
+func unbound(n int) {
+	consume(mat.GetScratch(n, n)) // want "not bound to a variable"
+}
+
+func consume(d *mat.Dense) {}
+
+func handoff(n int) *mat.Dense {
+	s := mat.GetScratch(n, n) //qmc:allow poolpair -- fixture: caller releases
+	return s
+}

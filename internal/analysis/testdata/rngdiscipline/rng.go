@@ -1,0 +1,7 @@
+// Package fixture exercises the rngdiscipline analyzer: math/rand is
+// forbidden outside questgo/internal/rng.
+package fixture
+
+import "math/rand" // want "outside internal/rng breaks deterministic trajectories"
+
+func roll() float64 { return rand.Float64() }

@@ -1,0 +1,9 @@
+//qmclint:path questgo/internal/rng
+
+// Package fixture pins the internal/rng path: the one package allowed to
+// import math/rand (e.g. to cross-check its own streams in tests).
+package fixture
+
+import "math/rand"
+
+func roll() float64 { return rand.Float64() }

@@ -1,0 +1,57 @@
+package blas
+
+import (
+	"math"
+	"testing"
+
+	"questgo/internal/rng"
+)
+
+// FuzzGemmPackedVsNaive drives the packed GEMM (and the small-product
+// fallback it dispatches to) against the reference triple loop over
+// fuzzer-chosen shapes, transpose flags, scalars and data seeds. The two
+// must agree to 1e-12 relative to the accumulation length — the packed
+// kernel reorders the sum but performs the same floating-point work.
+func FuzzGemmPackedVsNaive(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint8(1), uint64(1), 1.0, 0.0, false, false)
+	f.Add(uint8(7), uint8(5), uint8(3), uint64(2), 1.3, 0.7, true, false)
+	f.Add(uint8(64), uint8(64), uint8(64), uint64(3), -0.5, 1.0, false, true)
+	f.Add(uint8(33), uint8(17), uint8(65), uint64(4), 2.0, -1.0, true, true)
+	f.Add(uint8(96), uint8(2), uint8(47), uint64(5), 1.0, 0.5, false, false)
+	f.Fuzz(func(t *testing.T, m8, n8, k8 uint8, seed uint64, alpha, beta float64, ta, tb bool) {
+		m := int(m8%96) + 1
+		n := int(n8%96) + 1
+		k := int(k8%96) + 1
+		// Relative comparison: non-finite or huge scalars only probe
+		// float64 overflow, not the kernel.
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.Abs(alpha) > 16 ||
+			math.IsNaN(beta) || math.IsInf(beta, 0) || math.Abs(beta) > 16 {
+			t.Skip("degenerate scalars")
+		}
+		r := rng.New(seed)
+		ar, ac := m, k
+		if ta {
+			ar, ac = k, m
+		}
+		br, bc := k, n
+		if tb {
+			br, bc = n, k
+		}
+		a := randomDense(r, ar, ac)
+		b := randomDense(r, br, bc)
+		got := randomDense(r, m, n)
+		want := got.Clone()
+		Gemm(ta, tb, alpha, a, b, beta, got)
+		gemmNaive(ta, tb, alpha, a, b, beta, want)
+		tol := 1e-12 * float64(k) * (math.Abs(alpha) + math.Abs(beta) + 1)
+		for j := 0; j < n; j++ {
+			gc, wc := got.Col(j), want.Col(j)
+			for i := range gc {
+				if d := math.Abs(gc[i] - wc[i]); d > tol || math.IsNaN(d) {
+					t.Fatalf("C(%d,%d): packed %v vs naive %v (|diff| %.3e > tol %.3e) m=%d n=%d k=%d ta=%v tb=%v alpha=%v beta=%v",
+						i, j, gc[i], wc[i], d, tol, m, n, k, ta, tb, alpha, beta)
+				}
+			}
+		}
+	})
+}

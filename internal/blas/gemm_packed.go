@@ -86,6 +86,7 @@ func growBuf(buf []float64, n int) []float64 {
 	if cap(buf) >= n {
 		return buf[:n]
 	}
+	//qmc:allow hotalloc -- amortized growth: reused via the gemmCtx pool, steady state allocates nothing
 	return make([]float64, n)
 }
 

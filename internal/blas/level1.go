@@ -10,14 +10,17 @@
 // deliberately simple stride-1 loops.
 package blas
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Dot returns x . y over n elements with unit stride.
 func Dot(x, y []float64) float64 {
 	var s0, s1, s2, s3 float64
 	n := len(x)
 	if len(y) < n {
-		panic("blas: Dot length mismatch")
+		panic(fmt.Sprintf("blas: Dot length mismatch: len(x)=%d len(y)=%d", n, len(y)))
 	}
 	i := 0
 	for ; i+4 <= n; i += 4 {
@@ -39,7 +42,7 @@ func Axpy(alpha float64, x, y []float64) {
 	}
 	n := len(x)
 	if len(y) < n {
-		panic("blas: Axpy length mismatch")
+		panic(fmt.Sprintf("blas: Axpy length mismatch: len(x)=%d len(y)=%d", n, len(y)))
 	}
 	for i := 0; i < n; i++ {
 		y[i] += alpha * x[i]
@@ -95,7 +98,7 @@ func Idamax(x []float64) int {
 // Swap exchanges x and y element-wise.
 func Swap(x, y []float64) {
 	if len(x) != len(y) {
-		panic("blas: Swap length mismatch")
+		panic(fmt.Sprintf("blas: Swap length mismatch: len(x)=%d len(y)=%d", len(x), len(y)))
 	}
 	for i := range x {
 		x[i], y[i] = y[i], x[i]

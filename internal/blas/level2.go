@@ -1,6 +1,10 @@
 package blas
 
-import "questgo/internal/mat"
+import (
+	"fmt"
+
+	"questgo/internal/mat"
+)
 
 // Gemv computes y = alpha*op(A)*x + beta*y where op is the identity when
 // trans is false and transposition when trans is true.
@@ -8,7 +12,7 @@ func Gemv(trans bool, alpha float64, a *mat.Dense, x []float64, beta float64, y 
 	m, n := a.Rows, a.Cols
 	if trans {
 		if len(x) < m || len(y) < n {
-			panic("blas: Gemv dimension mismatch")
+			panic(fmt.Sprintf("blas: Gemv^T dimension mismatch: A is %dx%d, len(x)=%d, len(y)=%d", m, n, len(x), len(y)))
 		}
 		for j := 0; j < n; j++ {
 			y[j] = beta*y[j] + alpha*Dot(a.Col(j), x[:m])
@@ -16,7 +20,7 @@ func Gemv(trans bool, alpha float64, a *mat.Dense, x []float64, beta float64, y 
 		return
 	}
 	if len(x) < n || len(y) < m {
-		panic("blas: Gemv dimension mismatch")
+		panic(fmt.Sprintf("blas: Gemv dimension mismatch: A is %dx%d, len(x)=%d, len(y)=%d", m, n, len(x), len(y)))
 	}
 	if beta != 1 {
 		for i := 0; i < m; i++ {
@@ -32,7 +36,7 @@ func Gemv(trans bool, alpha float64, a *mat.Dense, x []float64, beta float64, y 
 func Ger(alpha float64, x, y []float64, a *mat.Dense) {
 	m, n := a.Rows, a.Cols
 	if len(x) < m || len(y) < n {
-		panic("blas: Ger dimension mismatch")
+		panic(fmt.Sprintf("blas: Ger dimension mismatch: A is %dx%d, len(x)=%d, len(y)=%d", m, n, len(x), len(y)))
 	}
 	for j := 0; j < n; j++ {
 		Axpy(alpha*y[j], x[:m], a.Col(j))

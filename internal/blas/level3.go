@@ -1,6 +1,9 @@
 package blas
 
 import (
+	"fmt"
+
+	"questgo/internal/check"
 	"questgo/internal/mat"
 	"questgo/internal/obs"
 	"questgo/internal/parallel"
@@ -15,6 +18,9 @@ import (
 // (see gemm_packed.go), so no operand is ever materialized: both layouts
 // read the strided source directly while writing the contiguous packed
 // panels. C must not alias A or B.
+//
+//qmc:charges OpGemmCalls,OpGemmFlops
+//qmc:hot
 func Gemm(transA, transB bool, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
 	am, ak := a.Rows, a.Cols
 	if transA {
@@ -25,7 +31,7 @@ func Gemm(transA, transB bool, alpha float64, a, b *mat.Dense, beta float64, c *
 		bk, bn = bn, bk
 	}
 	if am != c.Rows || bn != c.Cols || ak != bk {
-		panic("blas: Gemm dimension mismatch")
+		panic(fmt.Sprintf("blas: Gemm dimension mismatch: op(A) is %dx%d, op(B) is %dx%d, C is %dx%d", am, ak, bk, bn, c.Rows, c.Cols))
 	}
 	m, n, k := am, bn, ak
 	if m == 0 || n == 0 {
@@ -55,12 +61,15 @@ func Gemm(transA, transB bool, alpha float64, a, b *mat.Dense, beta float64, c *
 	}
 	ctx.aData, ctx.bData, ctx.cData = nil, nil, nil
 	gemmCtxPool.Put(ctx)
+	check.Finite("blas.Gemm", c)
 }
 
 // GemmTN computes C = alpha*A^T*B + beta*C. It is a named entry for the
 // common UDT/block-reflector pattern where one operand is reused transposed
 // (W = V^T C, N = Q_a^T Q_b); the transpose is handled during packing, so
 // this costs exactly the same as the NN case.
+//
+//qmc:hot
 func GemmTN(alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
 	Gemm(true, false, alpha, a, b, beta, c)
 }

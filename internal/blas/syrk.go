@@ -1,6 +1,10 @@
 package blas
 
-import "questgo/internal/mat"
+import (
+	"fmt"
+
+	"questgo/internal/mat"
+)
 
 // syrkNB is the column-block width of the Syrk sweep: each block update is
 // one Gemm over the upper-trapezoidal slice, so roughly half the flops of a
@@ -19,7 +23,7 @@ const syrkNB = 64
 func Syrk(alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
 	n := a.Cols
 	if c.Rows != n || c.Cols != n {
-		panic("blas: Syrk dimension mismatch")
+		panic(fmt.Sprintf("blas: Syrk dimension mismatch: A is %dx%d but C is %dx%d (want %dx%d)", a.Rows, a.Cols, c.Rows, c.Cols, n, n))
 	}
 	if n == 0 {
 		return

@@ -1,6 +1,9 @@
 package blas
 
 import (
+	"fmt"
+	"sync"
+
 	"questgo/internal/mat"
 	"questgo/internal/parallel"
 )
@@ -24,20 +27,22 @@ const trsmBlock = 64
 func Trsm(upper, trans, unit bool, alpha float64, t, b *mat.Dense) {
 	n := t.Rows
 	if t.Cols != n || b.Rows != n {
-		panic("blas: Trsm dimension mismatch")
+		panic(fmt.Sprintf("blas: Trsm dimension mismatch: T is %dx%d, B is %dx%d", t.Rows, t.Cols, b.Rows, b.Cols))
 	}
 	if b.Cols == 0 || n == 0 {
 		return
 	}
+	// Like the GEMM path, the parallel bodies are pre-bound methods on a
+	// pooled context so no closure is allocated per call or per block.
+	ctx := trsmCtxPool.Get().(*trsmCtx)
+	ctx.upper, ctx.trans, ctx.unit, ctx.alpha = upper, trans, unit, alpha
+	ctx.t, ctx.b = t, b
 	if alpha != 1 {
-		parallel.For(b.Cols, 8, func(jlo, jhi int) {
-			for j := jlo; j < jhi; j++ {
-				Scal(alpha, b.Col(j))
-			}
-		})
+		parallel.For(b.Cols, 8, ctx.scaleBody)
 	}
 	if n <= trsmBlock {
-		solveDiag(upper, trans, unit, t, b, 0, n)
+		ctx.solveDiag(0, n)
+		ctx.release()
 		return
 	}
 	// Forward sweeps eliminate solved blocks from the rows below; backward
@@ -48,7 +53,7 @@ func Trsm(upper, trans, unit bool, alpha float64, t, b *mat.Dense) {
 	case !trans && !upper:
 		for k0 := 0; k0 < n; k0 += trsmBlock {
 			k1 := min(k0+trsmBlock, n)
-			solveDiag(upper, trans, unit, t, b, k0, k1)
+			ctx.solveDiag(k0, k1)
 			if k1 < n {
 				Gemm(false, false, -1,
 					t.View(k1, k0, n-k1, k1-k0), b.View(k0, 0, k1-k0, b.Cols),
@@ -58,7 +63,7 @@ func Trsm(upper, trans, unit bool, alpha float64, t, b *mat.Dense) {
 	case !trans && upper:
 		for k1 := n; k1 > 0; k1 -= trsmBlock {
 			k0 := max(k1-trsmBlock, 0)
-			solveDiag(upper, trans, unit, t, b, k0, k1)
+			ctx.solveDiag(k0, k1)
 			if k0 > 0 {
 				Gemm(false, false, -1,
 					t.View(0, k0, k0, k1-k0), b.View(k0, 0, k1-k0, b.Cols),
@@ -70,7 +75,7 @@ func Trsm(upper, trans, unit bool, alpha float64, t, b *mat.Dense) {
 		// the diagonal becomes the block row of T^T to its right.
 		for k1 := n; k1 > 0; k1 -= trsmBlock {
 			k0 := max(k1-trsmBlock, 0)
-			solveDiag(upper, trans, unit, t, b, k0, k1)
+			ctx.solveDiag(k0, k1)
 			if k0 > 0 {
 				Gemm(true, false, -1,
 					t.View(k0, 0, k1-k0, k0), b.View(k0, 0, k1-k0, b.Cols),
@@ -81,7 +86,7 @@ func Trsm(upper, trans, unit bool, alpha float64, t, b *mat.Dense) {
 		// T^T is lower triangular: forward sweep.
 		for k0 := 0; k0 < n; k0 += trsmBlock {
 			k1 := min(k0+trsmBlock, n)
-			solveDiag(upper, trans, unit, t, b, k0, k1)
+			ctx.solveDiag(k0, k1)
 			if k1 < n {
 				Gemm(true, false, -1,
 					t.View(k0, k1, k1-k0, n-k1), b.View(k0, 0, k1-k0, b.Cols),
@@ -89,17 +94,53 @@ func Trsm(upper, trans, unit bool, alpha float64, t, b *mat.Dense) {
 			}
 		}
 	}
+	ctx.release()
+}
+
+// trsmCtx carries one Trsm call's operands so the parallel loop bodies can
+// be pre-bound methods instead of per-block closures.
+type trsmCtx struct {
+	upper, trans, unit bool
+	alpha              float64
+	t, b               *mat.Dense
+	td                 *mat.Dense // current diagonal block view
+	k0, k1             int
+	scaleBody          func(jlo, jhi int)
+	solveBody          func(jlo, jhi int)
+}
+
+var trsmCtxPool = sync.Pool{New: func() interface{} {
+	ctx := &trsmCtx{}
+	ctx.scaleBody = ctx.runScale
+	ctx.solveBody = ctx.runSolve
+	return ctx
+}}
+
+func (ctx *trsmCtx) release() {
+	ctx.t, ctx.b, ctx.td = nil, nil, nil
+	trsmCtxPool.Put(ctx)
+}
+
+//qmc:hot
+func (ctx *trsmCtx) runScale(jlo, jhi int) {
+	for j := jlo; j < jhi; j++ {
+		Scal(ctx.alpha, ctx.b.Col(j))
+	}
+}
+
+//qmc:hot
+func (ctx *trsmCtx) runSolve(jlo, jhi int) {
+	for j := jlo; j < jhi; j++ {
+		trsv(ctx.upper, ctx.trans, ctx.unit, ctx.td, ctx.b.Col(j)[ctx.k0:ctx.k1])
+	}
 }
 
 // solveDiag solves op(T[k0:k1, k0:k1]) * X = B[k0:k1, :] in place, with the
 // right-hand-side columns in parallel.
-func solveDiag(upper, trans, unit bool, t, b *mat.Dense, k0, k1 int) {
-	td := t.View(k0, k0, k1-k0, k1-k0)
-	parallel.For(b.Cols, 4, func(jlo, jhi int) {
-		for j := jlo; j < jhi; j++ {
-			trsv(upper, trans, unit, td, b.Col(j)[k0:k1])
-		}
-	})
+func (ctx *trsmCtx) solveDiag(k0, k1 int) {
+	ctx.k0, ctx.k1 = k0, k1
+	ctx.td = ctx.t.View(k0, k0, k1-k0, k1-k0)
+	parallel.For(ctx.b.Cols, 4, ctx.solveBody)
 }
 
 // trsv solves op(T) x = x in place for one right-hand side.

@@ -1,0 +1,107 @@
+//go:build qmcdebug
+
+package check_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"questgo/internal/blas"
+	"questgo/internal/check"
+	"questgo/internal/mat"
+)
+
+// mustPanic runs f and asserts it panics with a message containing substr.
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("expected string panic, got %T: %v", r, r)
+		}
+		if !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not contain %q", msg, substr)
+		}
+	}()
+	f()
+}
+
+func TestFinitePanicsOnNaN(t *testing.T) {
+	m := mat.New(3, 3)
+	m.Set(1, 2, math.NaN())
+	mustPanic(t, "test-op produced non-finite value", func() { check.Finite("test-op", m) })
+}
+
+func TestFinitePanicsOnInf(t *testing.T) {
+	m := mat.New(2, 2)
+	m.Set(0, 0, math.Inf(-1))
+	mustPanic(t, "(0,0)", func() { check.Finite("test-op", m) })
+}
+
+func TestFiniteAcceptsFiniteMatrix(t *testing.T) {
+	m := mat.New(4, 4)
+	for i := 0; i < 4; i++ {
+		m.Set(i, i, float64(i)-1.5)
+	}
+	check.Finite("test-op", m)
+}
+
+func TestFiniteSlicePanics(t *testing.T) {
+	v := []float64{1, 2, math.Inf(1)}
+	mustPanic(t, "index 2", func() { check.FiniteSlice("tau", v) })
+	check.FiniteSlice("tau", v[:2])
+}
+
+func TestDrift(t *testing.T) {
+	check.Drift("wrap", 1e-9, 0.05)
+	mustPanic(t, "exceeds tolerance", func() { check.Drift("wrap", 0.2, 0.05) })
+	mustPanic(t, "drift", func() { check.Drift("wrap", math.NaN(), 0.05) })
+}
+
+func TestDims(t *testing.T) {
+	m := mat.New(3, 4)
+	check.Dims("op", m, 3, 4)
+	mustPanic(t, "dimension mismatch", func() { check.Dims("op", m, 4, 3) })
+}
+
+func TestAssertf(t *testing.T) {
+	check.Assertf(true, "unused %d", 1)
+	mustPanic(t, "boundary 7", func() { check.Assertf(false, "boundary %d", 7) })
+}
+
+// TestGemmNaNTripped checks the wiring, not just the primitive: a NaN fed
+// into the packed GEMM must be caught at the Gemm call site, naming the
+// kernel that produced it.
+func TestGemmNaNTripped(t *testing.T) {
+	n := 8
+	a := mat.New(n, n)
+	b := mat.New(n, n)
+	c := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+		b.Set(i, i, 1)
+	}
+	a.Set(3, 5, math.NaN())
+	mustPanic(t, "blas.Gemm produced non-finite value", func() {
+		blas.Gemm(false, false, 1, a, b, 0, c)
+	})
+}
+
+// TestDoublePut checks the pool bookkeeping compiled into internal/mat
+// under this tag: returning the same scratch matrix twice must panic,
+// while a get/put/get/put cycle of the same buffer stays legal.
+func TestDoublePut(t *testing.T) {
+	s := mat.GetScratch(5, 5)
+	mat.PutScratch(s)
+	mustPanic(t, "double put", func() { mat.PutScratch(s) })
+
+	s2 := mat.GetScratch(6, 6)
+	mat.PutScratch(s2)
+	s3 := mat.GetScratch(6, 6) // may or may not be s2; either way a single put is legal
+	mat.PutScratch(s3)
+}

@@ -1,0 +1,21 @@
+//go:build !qmcdebug
+
+package check
+
+import "questgo/internal/mat"
+
+// Enabled reports whether the qmcdebug assertions are compiled in.
+const Enabled = false
+
+// Without the qmcdebug tag every assertion is an empty function: small
+// enough to inline, so the kernels pay nothing for carrying the calls.
+
+func Finite(op string, m *mat.Dense) {}
+
+func FiniteSlice(op string, v []float64) {}
+
+func Drift(op string, rel, tol float64) {}
+
+func Dims(op string, m *mat.Dense, rows, cols int) {}
+
+func Assertf(cond bool, format string, args ...interface{}) {}

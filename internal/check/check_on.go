@@ -1,0 +1,62 @@
+//go:build qmcdebug
+
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"questgo/internal/mat"
+)
+
+// Enabled reports whether the qmcdebug assertions are compiled in.
+const Enabled = true
+
+// Finite panics if m holds a NaN or Inf, naming the operation that just
+// wrote it and the offending coordinate.
+func Finite(op string, m *mat.Dense) {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Col(j)
+		for i, v := range col {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				panic(fmt.Sprintf("check: %s produced non-finite value %v at (%d,%d) of a %dx%d matrix", op, v, i, j, m.Rows, m.Cols))
+			}
+		}
+	}
+}
+
+// FiniteSlice is Finite for a plain vector (tau reflectors, diagonal
+// scales, column norms).
+func FiniteSlice(op string, v []float64) {
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			panic(fmt.Sprintf("check: %s produced non-finite value %v at index %d of a length-%d vector", op, x, i, len(v)))
+		}
+	}
+}
+
+// Drift panics if a relative drift measurement exceeds tol (or is NaN).
+// The tolerance is deliberately loose — wrap drift is expected and merely
+// bounded; only a blow-up indicates a propagator or stratification bug.
+func Drift(op string, rel, tol float64) {
+	if math.IsNaN(rel) || rel > tol {
+		panic(fmt.Sprintf("check: %s relative drift %.3e exceeds tolerance %.3e", op, rel, tol))
+	}
+}
+
+// Dims panics unless m is rows x cols.
+func Dims(op string, m *mat.Dense, rows, cols int) {
+	if m.Rows != rows || m.Cols != cols {
+		panic(fmt.Sprintf("check: %s dimension mismatch: got %dx%d, want %dx%d", op, m.Rows, m.Cols, rows, cols))
+	}
+}
+
+// Assertf panics with the formatted message when cond is false. The
+// variadic arguments are evaluated at the call site even in release
+// builds, so keep Assertf out of per-element loops; the other checks are
+// the zero-cost ones.
+func Assertf(cond bool, format string, args ...interface{}) {
+	if !cond {
+		panic("check: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,53 @@
+//go:build !qmcdebug
+
+package check_test
+
+import (
+	"math"
+	"testing"
+
+	"questgo/internal/check"
+	"questgo/internal/mat"
+)
+
+// Without the qmcdebug tag the sanitizer must be inert: Enabled folds to
+// false, bad values pass through silently, and — the property the hot
+// paths rely on — the calls neither allocate nor panic.
+func TestDisabled(t *testing.T) {
+	if check.Enabled {
+		t.Fatal("check.Enabled must be false without the qmcdebug tag")
+	}
+	if mat.DebugPool {
+		t.Fatal("mat.DebugPool must be false without the qmcdebug tag")
+	}
+	m := mat.New(2, 2)
+	m.Set(0, 0, math.NaN())
+	check.Finite("op", m) // must not panic
+	check.FiniteSlice("op", []float64{math.Inf(1)})
+	check.Drift("op", 1e9, 1e-12)
+	check.Dims("op", m, 7, 7)
+}
+
+func TestZeroOverhead(t *testing.T) {
+	m := mat.New(16, 16)
+	v := make([]float64, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		check.Finite("op", m)
+		check.FiniteSlice("op", v)
+		check.Drift("op", 0.5, 1.0)
+		check.Dims("op", m, 16, 16)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled sanitizer allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// Double puts are likewise silent in release builds: the pool accepts the
+// buffer again without bookkeeping.
+func TestDoublePutSilent(t *testing.T) {
+	s := mat.GetScratch(4, 4)
+	mat.PutScratch(s)
+	mat.PutScratch(s)
+	_ = mat.GetScratch(4, 4) // drain the duplicate so later users see a clean pool
+	_ = mat.GetScratch(4, 4)
+}

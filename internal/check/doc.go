@@ -1,0 +1,14 @@
+// Package check is the runtime numerical sanitizer that pairs with the
+// qmclint static analyzers. Built with -tags qmcdebug, its assertions scan
+// kernel outputs for NaN/Inf, verify wrap drift against the stratified
+// reference, and (together with the pool bookkeeping in internal/mat)
+// catch scratch double-puts. Built without the tag every function is an
+// empty, inlinable no-op and the const Enabled folds the call sites away,
+// so the release binaries carry zero overhead — a property the package's
+// own tests assert with an allocation regression check.
+//
+// Call sites pass a short operation label ("blas.Gemm", "greens.GreenInto")
+// so a tripped assert names the kernel that produced the bad value, not the
+// one that later consumed it — the whole point over waiting for the
+// acceptance-ratio diagnostics to go sideways thousands of flops later.
+package check

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"questgo/internal/blas"
+	"questgo/internal/check"
 	"questgo/internal/mat"
 	"questgo/internal/obs"
 )
@@ -106,6 +107,7 @@ func (d *Device) Malloc(rows, cols int) *Matrix {
 	return &Matrix{dev: d, m: mat.New(rows, cols), rows: rows, cols: cols}
 }
 
+//qmc:charges OpDeviceBytes
 func (d *Device) chargeTransfer(bytes int64) {
 	obs.Add(obs.OpDeviceBytes, bytes)
 	d.mu.Lock()
@@ -115,6 +117,7 @@ func (d *Device) chargeTransfer(bytes int64) {
 	d.mu.Unlock()
 }
 
+//qmc:charges OpDeviceKernels,OpDeviceFlops
 func (d *Device) chargeKernel(flops, memBytes float64) {
 	obs.Add(obs.OpDeviceKernels, 1)
 	obs.Add(obs.OpDeviceFlops, int64(flops))
@@ -137,7 +140,7 @@ func (d *Device) chargeKernel(flops, memBytes float64) {
 func (d *Device) SetMatrix(dst *Matrix, src *mat.Dense) {
 	d.checkOwned(dst)
 	if dst.rows != src.Rows || dst.cols != src.Cols {
-		panic("gpu: SetMatrix dimension mismatch")
+		panic(fmt.Sprintf("gpu: SetMatrix dimension mismatch: device matrix is %dx%d but host source is %dx%d", dst.rows, dst.cols, src.Rows, src.Cols))
 	}
 	dst.m.CopyFrom(src)
 	d.chargeTransfer(int64(src.Rows) * int64(src.Cols) * 8)
@@ -147,17 +150,18 @@ func (d *Device) SetMatrix(dst *Matrix, src *mat.Dense) {
 func (d *Device) GetMatrix(dst *mat.Dense, src *Matrix) {
 	d.checkOwned(src)
 	if dst.Rows != src.rows || dst.Cols != src.cols {
-		panic("gpu: GetMatrix dimension mismatch")
+		panic(fmt.Sprintf("gpu: GetMatrix dimension mismatch: host destination is %dx%d but device matrix is %dx%d", dst.Rows, dst.Cols, src.rows, src.cols))
 	}
 	dst.CopyFrom(src.m)
 	d.chargeTransfer(int64(src.rows) * int64(src.cols) * 8)
+	check.Finite("gpu.GetMatrix", dst)
 }
 
 // SetVector uploads a host vector (cublasSetVector), e.g. the V_l diagonal.
 func (d *Device) SetVector(dst *Matrix, src []float64) {
 	d.checkOwned(dst)
 	if dst.cols != 1 || dst.rows != len(src) {
-		panic("gpu: SetVector dimension mismatch")
+		panic(fmt.Sprintf("gpu: SetVector dimension mismatch: device vector is %dx%d but len(src)=%d", dst.rows, dst.cols, len(src)))
 	}
 	copy(dst.m.Col(0), src)
 	d.chargeTransfer(int64(len(src)) * 8)
@@ -193,7 +197,7 @@ func (d *Device) ScaleRows(dst, src *Matrix, v *Matrix) {
 	d.checkOwned(src)
 	d.checkOwned(v)
 	if v.cols != 1 || v.rows != src.rows || dst.rows != src.rows || dst.cols != src.cols {
-		panic("gpu: ScaleRows dimension mismatch")
+		panic(fmt.Sprintf("gpu: ScaleRows dimension mismatch: src is %dx%d, dst is %dx%d, v is %dx%d", src.rows, src.cols, dst.rows, dst.cols, v.rows, v.cols))
 	}
 	defer d.trackReal()()
 	vv := v.m.Col(0)
@@ -215,7 +219,7 @@ func (d *Device) ScaleRowsCols(g *Matrix, v *Matrix) {
 	d.checkOwned(g)
 	d.checkOwned(v)
 	if v.cols != 1 || v.rows != g.rows || g.rows != g.cols {
-		panic("gpu: ScaleRowsCols dimension mismatch")
+		panic(fmt.Sprintf("gpu: ScaleRowsCols dimension mismatch: g is %dx%d, v is %dx%d", g.rows, g.cols, v.rows, v.cols))
 	}
 	defer d.trackReal()()
 	vv := v.m.Col(0)

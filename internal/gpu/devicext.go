@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"fmt"
 	"math"
 
 	"questgo/internal/mat"
@@ -38,7 +39,7 @@ func (d *Device) ScaleCols(a *Matrix, v *Matrix) {
 	d.checkOwned(a)
 	d.checkOwned(v)
 	if v.cols != 1 || v.rows != a.cols {
-		panic("gpu: ScaleCols dimension mismatch")
+		panic(fmt.Sprintf("gpu: ScaleCols dimension mismatch: a is %dx%d, v is %dx%d", a.rows, a.cols, v.rows, v.cols))
 	}
 	defer d.trackReal()()
 	vv := v.m.Col(0)
@@ -58,7 +59,7 @@ func (d *Device) ScaleCols(a *Matrix, v *Matrix) {
 func (d *Device) ColumnNorms(a *Matrix, dst []float64) {
 	d.checkOwned(a)
 	if len(dst) != a.cols {
-		panic("gpu: ColumnNorms length mismatch")
+		panic(fmt.Sprintf("gpu: ColumnNorms length mismatch: a has %d cols but len(dst)=%d", a.cols, len(dst)))
 	}
 	defer d.trackReal()()
 	for j := 0; j < a.cols; j++ {
@@ -88,7 +89,7 @@ func (d *Device) ColumnNorms(a *Matrix, dst []float64) {
 func (d *Device) PermuteCols(a *Matrix, perm []int) {
 	d.checkOwned(a)
 	if len(perm) != a.cols {
-		panic("gpu: PermuteCols length mismatch")
+		panic(fmt.Sprintf("gpu: PermuteCols length mismatch: a has %d cols but len(perm)=%d", a.cols, len(perm)))
 	}
 	defer d.trackReal()()
 	tmp := mat.New(a.rows, a.cols)
@@ -123,7 +124,7 @@ func (d *Device) Axpy(alpha float64, src, dst *Matrix) {
 	d.checkOwned(src)
 	d.checkOwned(dst)
 	if src.rows != dst.rows || src.cols != dst.cols {
-		panic("gpu: Axpy dimension mismatch")
+		panic(fmt.Sprintf("gpu: Axpy dimension mismatch: src is %dx%d but dst is %dx%d", src.rows, src.cols, dst.rows, dst.cols))
 	}
 	defer d.trackReal()()
 	for j := 0; j < src.cols; j++ {

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"fmt"
 	"math"
 
 	"questgo/internal/greens"
@@ -32,7 +33,7 @@ type HybridLU struct {
 func LUFactorHybrid(dev *Device, a *Matrix) *HybridLU {
 	n := a.rows
 	if a.cols != n {
-		panic("gpu: LUFactorHybrid expects square")
+		panic(fmt.Sprintf("gpu: LUFactorHybrid expects a square matrix, got %dx%d", a.rows, a.cols))
 	}
 	h := &HybridLU{dev: dev, a: a, piv: make([]int, n), n: n}
 	panel := mat.New(n, hybridLUBlock)

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"fmt"
 	"sort"
 
 	"questgo/internal/greens"
@@ -104,7 +105,7 @@ func (h *HybridQR) R() *mat.Dense {
 // device.
 func (h *HybridQR) FormQDevice(q *Matrix) {
 	if q.rows != h.m || q.cols != h.m {
-		panic("gpu: FormQDevice expects m x m")
+		panic(fmt.Sprintf("gpu: FormQDevice expects a %dx%d destination, got %dx%d", h.m, h.m, q.rows, q.cols))
 	}
 	h.dev.SetMatrix(q, mat.Identity(h.m))
 	for i := len(h.panels) - 1; i >= 0; i-- {

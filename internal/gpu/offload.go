@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"fmt"
 	"questgo/internal/greens"
 	"questgo/internal/hubbard"
 	"questgo/internal/mat"
@@ -67,6 +68,9 @@ func (acc *Accelerator) Cluster(dst *mat.Dense, f *hubbard.Field, sigma hubbard.
 // device (Algorithm 6, with the Algorithm 7 combined row/column scaling
 // kernel): upload G, two GEMMs against the resident propagators, one
 // scaling kernel, download G.
+//
+//qmc:charges OpWraps
+//qmc:hot
 func (acc *Accelerator) Wrap(g *mat.Dense, f *hubbard.Field, sigma hubbard.Spin, l int) {
 	obs.Add(obs.OpWraps, 1)
 	dev := acc.Dev
@@ -93,7 +97,7 @@ type ClusterSet struct {
 func NewClusterSet(acc *Accelerator, f *hubbard.Field, sigma hubbard.Spin, k int) *ClusterSet {
 	l := acc.prop.Model.L
 	if k < 1 || l%k != 0 {
-		panic("gpu: cluster size must divide the slice count")
+		panic(fmt.Sprintf("gpu: cluster size %d must divide the slice count %d", k, l))
 	}
 	n := acc.prop.Model.N()
 	cs := &ClusterSet{K: k, NC: l / k, sigma: sigma, acc: acc, clusters: make([]*mat.Dense, l/k)}

@@ -132,6 +132,9 @@ func (sp *gpuSpin) push(i int, factor float64) {
 // flush applies the pending block update G += U*W^T with a *device* GEMM —
 // on real hardware this is where the delayed-update trick pays off most,
 // since the rank-nd updates are pure DGEMM.
+//
+//qmc:charges OpDelayedFlushes
+//qmc:hot
 func (sp *gpuSpin) flush(dev *Device) {
 	if sp.m == 0 {
 		return
@@ -247,6 +250,8 @@ func (sw *Sweeper) refresh(c int) {
 // Sweep performs one full Metropolis sweep with device-offloaded
 // wrapping, clustering and delayed-update flushes, the up/down sectors
 // running concurrently.
+//
+//qmc:charges OpSweeps
 func (sw *Sweeper) Sweep() {
 	obs.Add(obs.OpSweeps, 1)
 	model := sw.Prop.Model

@@ -1,6 +1,7 @@
 package greens
 
 import (
+	"fmt"
 	"questgo/internal/blas"
 	"questgo/internal/hubbard"
 	"questgo/internal/mat"
@@ -31,7 +32,7 @@ type ClusterSet struct {
 func NewClusterSet(p *hubbard.Propagator, f *hubbard.Field, sigma hubbard.Spin, k int) *ClusterSet {
 	l := p.Model.L
 	if k < 1 || l%k != 0 {
-		panic("greens: cluster size must divide the slice count")
+		panic(fmt.Sprintf("greens: cluster size %d must divide the slice count %d", k, l))
 	}
 	n := p.Model.N()
 	cs := &ClusterSet{
@@ -144,6 +145,9 @@ func NewWrapper(p *hubbard.Propagator) *Wrapper {
 }
 
 // Wrap overwrites g with B_l G B_l^{-1} for the given slice and spin.
+//
+//qmc:charges OpWraps
+//qmc:hot
 func (w *Wrapper) Wrap(g *mat.Dense, f *hubbard.Field, sigma hubbard.Spin, l int) {
 	obs.Add(obs.OpWraps, 1)
 	if cb := w.prop.CB; cb != nil {

@@ -1,6 +1,7 @@
 package greens
 
 import (
+	"fmt"
 	"questgo/internal/blas"
 	"questgo/internal/hubbard"
 	"questgo/internal/lapack"
@@ -46,7 +47,7 @@ import (
 func DisplacedGreen(p *hubbard.Propagator, f *hubbard.Field, sigma hubbard.Spin, l, k int) *mat.Dense {
 	L := p.Model.L
 	if l < 1 || l > L {
-		panic("greens: displaced slice out of range")
+		panic(fmt.Sprintf("greens: displaced slice %d out of range [1, %d]", l, L))
 	}
 	if k < 1 {
 		k = 1
@@ -74,7 +75,7 @@ func DisplacedGreen(p *hubbard.Propagator, f *hubbard.Field, sigma hubbard.Spin,
 func DisplacedGreenReverse(p *hubbard.Propagator, f *hubbard.Field, sigma hubbard.Spin, l, k int) *mat.Dense {
 	L := p.Model.L
 	if l < 1 || l > L {
-		panic("greens: displaced slice out of range")
+		panic(fmt.Sprintf("greens: displaced slice %d out of range [1, %d]", l, L))
 	}
 	if k < 1 {
 		k = 1

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"questgo/internal/blas"
+	"questgo/internal/check"
 	"questgo/internal/lapack"
 	"questgo/internal/mat"
 	"questgo/internal/obs"
@@ -124,6 +125,8 @@ func (st *StratStack) Rebuild() {
 // Advance absorbs the source's cluster Filled() — which the sweeper has
 // just recomputed from the re-sampled field — into the prefix UDT. Exactly
 // one extension step; must be called in cluster order 0, 1, ..., NC-1.
+//
+//qmc:hot
 func (st *StratStack) Advance() {
 	if st.filled >= st.nc {
 		panic("greens: StratStack.Advance past the last cluster (missing GreenInto roll?)")
@@ -173,6 +176,7 @@ func (st *StratStack) GreenInto(dst *mat.Dense) {
 	default:
 		st.combineInto(dst, st.filled)
 	}
+	check.Finite("greens.StratStack.GreenInto", dst)
 }
 
 // combineInto evaluates G at boundary c from the prefix UDT and the
@@ -188,6 +192,9 @@ func (st *StratStack) GreenInto(dst *mat.Dense) {
 // stratification step already handles: factor it as q d t with the same
 // pivoting policy, giving P = (Q1 q) d (t Qs^T) — a single UDT for the
 // whole chain, finished by the stabilized inversion.
+//
+//qmc:charges OpUDTSteps
+//qmc:hot
 func (st *StratStack) combineInto(dst *mat.Dense, c int) {
 	n := st.n
 	suf := &st.suf[c]

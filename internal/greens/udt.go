@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"questgo/internal/blas"
+	"questgo/internal/check"
 	"questgo/internal/lapack"
 	"questgo/internal/mat"
 	"questgo/internal/obs"
@@ -144,6 +145,9 @@ func StratifyPrePivot(bs []*mat.Dense) *UDT {
 // B = Q R P^T with column pivoting (there is no grading to exploit yet, so
 // Algorithm 2 and 3 share this step); D = diag(R), T = D^{-1} R P^T.
 // work and r are n x n scratch (work is overwritten by the factorization).
+//
+//qmc:charges OpUDTSteps
+//qmc:hot
 func initUDT(u *UDT, b *mat.Dense, work, r *mat.Dense) {
 	n := b.Rows
 	work.CopyFrom(b)
@@ -166,6 +170,9 @@ func initUDT(u *UDT, b *mat.Dense, work, r *mat.Dense) {
 // stratification algorithms; pivotEveryStep selects Algorithm 2 (QRP) vs
 // Algorithm 3 (descending-norm pre-pivot + blocked QR). work, r and tNew
 // are n x n scratch.
+//
+//qmc:charges OpUDTSteps
+//qmc:hot
 func extendUDT(u *UDT, b *mat.Dense, pivotEveryStep bool, work, r, tNew *mat.Dense) {
 	// Step 3a: C = (B Q) D. The parenthesization is essential: B * Q is a
 	// product of well-scaled matrices, and the graded D enters only as a
@@ -197,6 +204,8 @@ func extendUDT(u *UDT, b *mat.Dense, pivotEveryStep bool, work, r, tNew *mat.Den
 
 // stratifyInto runs the full chain through u, whose Q/D/T must be
 // preallocated n x n / n; every temporary comes from the scratch pool.
+//
+//qmc:hot
 func stratifyInto(u *UDT, bs []*mat.Dense, pivotEveryStep bool) {
 	if len(bs) == 0 {
 		panic("greens: empty matrix chain")
@@ -325,12 +334,16 @@ func Green(bs []*mat.Dense) *mat.Dense { return GreenFromUDT(StratifyPrePivot(bs
 // drawn from the scratch pool (nothing escapes).
 func GreenInto(dst *mat.Dense, bs []*mat.Dense, prePivot bool) {
 	n := bs[0].Rows
-	u := &UDT{Q: mat.GetScratch(n, n), D: getVec(n), T: mat.GetScratch(n, n)}
+	q := mat.GetScratch(n, n)
+	t := mat.GetScratch(n, n)
+	d := getVec(n)
+	u := &UDT{Q: q, D: d, T: t}
 	stratifyInto(u, bs, !prePivot)
 	GreenFromUDTInto(dst, u)
-	mat.PutScratch(u.Q)
-	mat.PutScratch(u.T)
-	putVec(u.D)
+	check.Finite("greens.GreenInto", dst)
+	mat.PutScratch(q)
+	mat.PutScratch(t)
+	putVec(d)
 }
 
 // GreenQRP evaluates the same Green's function with Algorithm 2.

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"questgo/internal/blas"
+	"questgo/internal/check"
 	"questgo/internal/mat"
 	"questgo/internal/obs"
 	"questgo/internal/parallel"
@@ -24,17 +25,23 @@ import (
 // updated norms of every remaining column before the next reflector can be
 // chosen, which is exactly the serialization the paper's pre-pivoting
 // variant removes.
+//
+//qmc:charges OpQRPFactorizations
+//qmc:hot
 func QRPFactor(a *mat.Dense) (*QR, []int) {
 	obs.Add(obs.OpQRPFactorizations, 1)
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
-	tau := make([]float64, k)
-	jpvt := make([]int, n)
-	norms := make([]float64, n)          // partial (trailing) column norms
-	onorms := make([]float64, n)         // reference norms for the safeguard
-	work := make([]float64, n)           // gemv workspace
+	tau := make([]float64, k)  //qmc:allow hotalloc -- escapes in the returned QR
+	jpvt := make([]int, n)     //qmc:allow hotalloc -- escapes as the returned pivot vector
+	wk := mat.GetScratch(n, 3) // pooled: norms | onorms | gemv workspace
+	norms := wk.Data[0:n]      // partial (trailing) column norms
+	onorms := wk.Data[n : 2*n] // reference norms for the safeguard
+	work := wk.Data[2*n : 3*n] // gemv workspace
+	defer mat.PutScratch(wk)
 	const tol3z = 1.4901161193847656e-08 // sqrt(machine epsilon)
 
+	//qmc:allow hotalloc -- one closure per factorization, amortized over the O(mn) norm sweep
 	parallel.For(n, 16, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			jpvt[j] = j
@@ -92,6 +99,8 @@ func QRPFactor(a *mat.Dense) (*QR, []int) {
 			}
 		}
 	}
+	check.Finite("lapack.QRPFactor", a)
+	check.FiniteSlice("lapack.QRPFactor tau", tau)
 	return &QR{A: a, Tau: tau}, jpvt
 }
 

@@ -1,6 +1,8 @@
 package lapack
 
 import (
+	"fmt"
+	"questgo/internal/check"
 	"questgo/internal/mat"
 	"questgo/internal/obs"
 )
@@ -22,11 +24,14 @@ type QR struct {
 // overwriting it. This mirrors DGEQRF: unblocked panel factorization,
 // block reflector T formation, and a GEMM-rich trailing update — the
 // "mostly level 3" routine of the paper's Figure 1.
+//
+//qmc:charges OpQRFactorizations
+//qmc:hot
 func QRFactor(a *mat.Dense) *QR {
 	obs.Add(obs.OpQRFactorizations, 1)
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
-	tau := make([]float64, k)
+	tau := make([]float64, k) //qmc:allow hotalloc -- escapes in the returned QR
 	// The panel/reflector scratch is identical on every call for a given
 	// shape, so it comes from the shared pool (tau escapes in the QR and
 	// stays heap-allocated).
@@ -55,6 +60,8 @@ func QRFactor(a *mat.Dense) *QR {
 			larfb(vv, tt, true, trail, wrk)
 		}
 	}
+	check.Finite("lapack.QRFactor", a)
+	check.FiniteSlice("lapack.QRFactor tau", tau)
 	return &QR{A: a, Tau: tau}
 }
 
@@ -110,11 +117,13 @@ func (qr *QR) R() *mat.Dense {
 // RInto writes the upper triangular factor into r, which must be k x n with
 // k = min(m, n). Entries below the diagonal are zeroed. Unlike R it performs
 // no allocation, so the stratification loop can reuse one pooled matrix.
+//
+//qmc:hot
 func (qr *QR) RInto(r *mat.Dense) {
 	m, n := qr.A.Rows, qr.A.Cols
 	k := min(m, n)
 	if r.Rows != k || r.Cols != n {
-		panic("lapack: RInto dimension mismatch")
+		panic(fmt.Sprintf("lapack: RInto dimension mismatch: r is %dx%d, want %dx%d", r.Rows, r.Cols, k, n))
 	}
 	for j := 0; j < n; j++ {
 		src := qr.A.Col(j)
@@ -129,10 +138,12 @@ func (qr *QR) RInto(r *mat.Dense) {
 
 // MulQ applies Q (trans=false) or Q^T (trans=true) from the left to c in
 // place, using the block reflectors (DORMQR, side = left).
+//
+//qmc:hot
 func (qr *QR) MulQ(trans bool, c *mat.Dense) {
 	m := qr.A.Rows
 	if c.Rows != m {
-		panic("lapack: MulQ dimension mismatch")
+		panic(fmt.Sprintf("lapack: MulQ dimension mismatch: Q is %dx%d but C has %d rows", m, m, c.Rows))
 	}
 	k := len(qr.Tau)
 	v := mat.GetScratch(m, qrBlock)
@@ -143,6 +154,7 @@ func (qr *QR) MulQ(trans bool, c *mat.Dense) {
 		mat.PutScratch(t)
 		mat.PutScratch(wrk)
 	}()
+	//qmc:allow hotalloc -- one closure per MulQ call, amortized over O(m n k) reflector work
 	apply := func(j, jb int) {
 		vv := v.View(0, 0, m-j, jb)
 		copyReflectors(qr.A.View(j, j, m-j, jb), vv)
@@ -169,7 +181,7 @@ func (qr *QR) MulQ(trans bool, c *mat.Dense) {
 func (qr *QR) FormQ(q *mat.Dense) {
 	m := qr.A.Rows
 	if q.Rows != m || q.Cols != m {
-		panic("lapack: FormQ expects an m x m destination")
+		panic(fmt.Sprintf("lapack: FormQ expects a %dx%d destination, got %dx%d", m, m, q.Rows, q.Cols))
 	}
 	q.SetIdentity()
 	qr.MulQ(false, q)

@@ -2,9 +2,11 @@ package lapack
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"questgo/internal/blas"
+	"questgo/internal/check"
 	"questgo/internal/mat"
 )
 
@@ -27,7 +29,7 @@ type LU struct {
 func LUFactor(a *mat.Dense) (*LU, error) {
 	n := a.Rows
 	if a.Cols != n {
-		panic("lapack: LUFactor expects a square matrix")
+		panic(fmt.Sprintf("lapack: LUFactor expects a square matrix, got %dx%d", a.Rows, a.Cols))
 	}
 	piv := make([]int, n)
 	var singular bool
@@ -63,6 +65,7 @@ func LUFactor(a *mat.Dense) (*LU, error) {
 	if singular {
 		return lu, ErrSingular
 	}
+	check.Finite("lapack.LUFactor", a)
 	return lu, nil
 }
 
@@ -117,7 +120,7 @@ func swapRowParts(a *mat.Dense, r1, r2 int, c0, c1 int) {
 func (lu *LU) Solve(b *mat.Dense) {
 	n := lu.A.Rows
 	if b.Rows != n {
-		panic("lapack: LU.Solve dimension mismatch")
+		panic(fmt.Sprintf("lapack: LU.Solve dimension mismatch: A is %dx%d but B has %d rows", n, n, b.Rows))
 	}
 	// Apply row interchanges to B.
 	for i := 0; i < n; i++ {
@@ -155,7 +158,7 @@ func (lu *LU) LogDet() (logAbs float64, sign float64) {
 func (lu *LU) Invert(dst *mat.Dense) {
 	n := lu.A.Rows
 	if dst.Rows != n || dst.Cols != n {
-		panic("lapack: LU.Invert dimension mismatch")
+		panic(fmt.Sprintf("lapack: LU.Invert dimension mismatch: A is %dx%d but dst is %dx%d", n, n, dst.Rows, dst.Cols))
 	}
 	dst.SetIdentity()
 	lu.Solve(dst)

@@ -6,6 +6,7 @@
 package lapack
 
 import (
+	"fmt"
 	"math"
 
 	"questgo/internal/blas"
@@ -43,13 +44,15 @@ func larfg(alpha float64, x []float64) (beta, tau float64) {
 
 // larf applies the reflector H = I - tau*v*v^T from the left to C, using
 // work of length >= C.Cols. v has implicit leading 1 at v[0].
+//
+//qmc:hot
 func larf(v []float64, tau float64, c *mat.Dense, work []float64) {
 	if tau == 0 {
 		return
 	}
 	m, n := c.Rows, c.Cols
 	if len(v) != m {
-		panic("lapack: larf dimension mismatch")
+		panic(fmt.Sprintf("lapack: larf dimension mismatch: len(v)=%d but C has %d rows", len(v), m))
 	}
 	w := work[:n]
 	// w = C^T v

@@ -1,6 +1,7 @@
 package lapack
 
 import (
+	"fmt"
 	"math"
 
 	"questgo/internal/mat"
@@ -18,7 +19,7 @@ import (
 func SymEig(a *mat.Dense) ([]float64, *mat.Dense) {
 	n := a.Rows
 	if a.Cols != n {
-		panic("lapack: SymEig expects a square matrix")
+		panic(fmt.Sprintf("lapack: SymEig expects a square matrix, got %dx%d", a.Rows, a.Cols))
 	}
 	v := a.Clone()
 	d := make([]float64, n)

@@ -24,7 +24,7 @@ type Dense struct {
 // New allocates a zeroed Rows x Cols matrix with a tight stride.
 func New(rows, cols int) *Dense {
 	if rows < 0 || cols < 0 {
-		panic("mat: negative dimension")
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
 	}
 	return &Dense{Rows: rows, Cols: cols, Stride: max(rows, 1), Data: make([]float64, rows*cols)}
 }
@@ -32,7 +32,7 @@ func New(rows, cols int) *Dense {
 // NewFromColMajor wraps existing column-major data (not copied).
 func NewFromColMajor(rows, cols int, data []float64) *Dense {
 	if len(data) < rows*cols {
-		panic("mat: data too short")
+		panic(fmt.Sprintf("mat: data too short: %dx%d needs %d floats, got %d", rows, cols, rows*cols, len(data)))
 	}
 	return &Dense{Rows: rows, Cols: cols, Stride: max(rows, 1), Data: data}
 }
@@ -81,9 +81,11 @@ func (m *Dense) Clone() *Dense {
 }
 
 // CopyFrom copies src into m; dimensions must match.
+//
+//qmc:hot
 func (m *Dense) CopyFrom(src *Dense) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
-		panic("mat: dimension mismatch in CopyFrom")
+		panic(fmt.Sprintf("mat: CopyFrom dimension mismatch: dst is %dx%d but src is %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
 	}
 	for j := 0; j < m.Cols; j++ {
 		copy(m.Col(j), src.Col(j))
@@ -134,9 +136,11 @@ func (m *Dense) Scale(alpha float64) {
 }
 
 // Add accumulates alpha*b into m; dimensions must match.
+//
+//qmc:hot
 func (m *Dense) Add(alpha float64, b *Dense) {
 	if m.Rows != b.Rows || m.Cols != b.Cols {
-		panic("mat: dimension mismatch in Add")
+		panic(fmt.Sprintf("mat: Add dimension mismatch: m is %dx%d but b is %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	for j := 0; j < m.Cols; j++ {
 		mc, bc := m.Col(j), b.Col(j)
@@ -147,9 +151,11 @@ func (m *Dense) Add(alpha float64, b *Dense) {
 }
 
 // ScaleRows multiplies row i by d[i] (left multiplication by diag(d)).
+//
+//qmc:hot
 func (m *Dense) ScaleRows(d []float64) {
 	if len(d) != m.Rows {
-		panic("mat: ScaleRows length mismatch")
+		panic(fmt.Sprintf("mat: ScaleRows length mismatch: m has %d rows but len(d)=%d", m.Rows, len(d)))
 	}
 	for j := 0; j < m.Cols; j++ {
 		col := m.Col(j)
@@ -160,9 +166,11 @@ func (m *Dense) ScaleRows(d []float64) {
 }
 
 // ScaleCols multiplies column j by d[j] (right multiplication by diag(d)).
+//
+//qmc:hot
 func (m *Dense) ScaleCols(d []float64) {
 	if len(d) != m.Cols {
-		panic("mat: ScaleCols length mismatch")
+		panic(fmt.Sprintf("mat: ScaleCols length mismatch: m has %d cols but len(d)=%d", m.Cols, len(d)))
 	}
 	for j := 0; j < m.Cols; j++ {
 		col := m.Col(j)
@@ -239,7 +247,7 @@ func (m *Dense) EqualApprox(b *Dense, tol float64) bool {
 // RelDiff returns ||m - b||_F / ||b||_F, the metric of the paper's Figure 2.
 func RelDiff(m, b *Dense) float64 {
 	if m.Rows != b.Rows || m.Cols != b.Cols {
-		panic("mat: dimension mismatch in RelDiff")
+		panic(fmt.Sprintf("mat: RelDiff dimension mismatch: m is %dx%d but b is %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	d := m.Clone()
 	d.Add(-1, b)

@@ -1,6 +1,7 @@
 package mat
 
 import (
+	"fmt"
 	"math/bits"
 	"sync"
 )
@@ -36,7 +37,7 @@ func scratchClass(n int) int {
 // returned to a caller) should be allocated with New instead.
 func GetScratch(rows, cols int) *Dense {
 	if rows < 0 || cols < 0 {
-		panic("mat: negative dimension")
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
 	}
 	need := rows * cols
 	class := scratchClass(need)
@@ -45,7 +46,9 @@ func GetScratch(rows, cols int) *Dense {
 	}
 	v := scratchPools[class].Get()
 	if v == nil {
-		return &Dense{Rows: rows, Cols: cols, Stride: max(rows, 1), Data: make([]float64, 1<<class)[:need]}
+		d := &Dense{Rows: rows, Cols: cols, Stride: max(rows, 1), Data: make([]float64, 1<<class)[:need]}
+		debugTrackGet(d)
+		return d
 	}
 	d := v.(*Dense)
 	d.Rows, d.Cols, d.Stride = rows, cols, max(rows, 1)
@@ -53,6 +56,7 @@ func GetScratch(rows, cols int) *Dense {
 	for i := range d.Data {
 		d.Data[i] = 0
 	}
+	debugTrackGet(d)
 	return d
 }
 
@@ -68,15 +72,18 @@ func PutScratch(d *Dense) {
 	if class >= scratchClasses {
 		return
 	}
+	debugTrackPut(d)
 	scratchPools[class].Put(d)
 }
 
 // TransposeInto writes the transpose of m into dst (dst must be Cols x Rows
 // and must not alias m). Unlike Transpose it performs no allocation, so hot
 // paths can pair it with GetScratch.
+//
+//qmc:hot
 func (m *Dense) TransposeInto(dst *Dense) {
 	if dst.Rows != m.Cols || dst.Cols != m.Rows {
-		panic("mat: TransposeInto dimension mismatch")
+		panic(fmt.Sprintf("mat: TransposeInto dimension mismatch: src is %dx%d but dst is %dx%d (want %dx%d)", m.Rows, m.Cols, dst.Rows, dst.Cols, m.Cols, m.Rows))
 	}
 	for j := 0; j < m.Cols; j++ {
 		col := m.Col(j)

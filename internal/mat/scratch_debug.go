@@ -1,0 +1,37 @@
+//go:build qmcdebug
+
+package mat
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DebugPool reports whether scratch-pool double-put bookkeeping is
+// compiled in (qmcdebug builds only).
+const DebugPool = true
+
+// The bookkeeping lives here rather than in internal/check because check
+// imports mat; a tagged hook pair keeps the dependency one-way. State is
+// a checked-out set keyed by matrix identity: a Put of a matrix that is
+// already pooled is the use-after-free precursor the sanitizer exists to
+// catch — the next Get would hand two owners the same backing array.
+var (
+	scratchMu   sync.Mutex
+	scratchLive = map[*Dense]bool{} // true = checked out, false = in pool
+)
+
+func debugTrackGet(d *Dense) {
+	scratchMu.Lock()
+	scratchLive[d] = true
+	scratchMu.Unlock()
+}
+
+func debugTrackPut(d *Dense) {
+	scratchMu.Lock()
+	defer scratchMu.Unlock()
+	if live, seen := scratchLive[d]; seen && !live {
+		panic(fmt.Sprintf("mat: PutScratch double put of %dx%d scratch matrix", d.Rows, d.Cols))
+	}
+	scratchLive[d] = false
+}

@@ -1,0 +1,11 @@
+//go:build !qmcdebug
+
+package mat
+
+// DebugPool reports whether scratch-pool double-put bookkeeping is
+// compiled in (qmcdebug builds only).
+const DebugPool = false
+
+func debugTrackGet(d *Dense) {}
+
+func debugTrackPut(d *Dense) {}

@@ -41,6 +41,8 @@ const chunksPerWorker = 4
 // grain iterations; if the loop is too small for more than one chunk the
 // body runs on the calling goroutine with no synchronization cost. A body
 // may be invoked several times on the same worker with different ranges.
+//
+//qmc:hot
 func For(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -92,6 +94,8 @@ func ForDynamic(n, grain int, body func(i int)) {
 // reason it is in For: a busy pool degrades to serial execution on the
 // caller, and any parallel kernels inside a or b enlist whatever workers
 // remain idle. A steady-state call performs no allocation.
+//
+//qmc:hot
 func Pair(a, b func()) {
 	if runtime.GOMAXPROCS(0) == 1 {
 		a()

@@ -23,6 +23,7 @@ package update
 
 import (
 	"questgo/internal/blas"
+	"questgo/internal/check"
 	"questgo/internal/greens"
 	"questgo/internal/hubbard"
 	"questgo/internal/mat"
@@ -55,6 +56,8 @@ func newSpinState(sigma hubbard.Spin, n, nd int) *spinState {
 }
 
 // effDiag returns G_eff(i,i).
+//
+//qmc:hot
 func (s *spinState) effDiag(i int) float64 {
 	gii := s.g.At(i, i)
 	for t := 0; t < s.m; t++ {
@@ -64,6 +67,8 @@ func (s *spinState) effDiag(i int) float64 {
 }
 
 // effColRow fills s.col with G_eff(:, i) and s.row with G_eff(i, :).
+//
+//qmc:hot
 func (s *spinState) effColRow(i int) {
 	n := s.g.Rows
 	copy(s.col, s.g.Col(i))
@@ -92,6 +97,8 @@ func (s *spinState) effColRow(i int) {
 // the convention where the flipped slice is rightmost; the determinant
 // ratio d = 1 + alpha*(1 - G_ii) is identical in both.) effColRow must have
 // been called for this i first.
+//
+//qmc:hot
 func (s *spinState) push(i int, factor float64) {
 	uc := s.u.Col(s.m)
 	wc := s.w.Col(s.m)
@@ -104,6 +111,9 @@ func (s *spinState) push(i int, factor float64) {
 }
 
 // flush applies the pending block update G += U * W^T and resets the count.
+//
+//qmc:charges OpDelayedFlushes
+//qmc:hot
 func (s *spinState) flush() {
 	if s.m == 0 {
 		return
@@ -116,6 +126,8 @@ func (s *spinState) flush() {
 }
 
 // accept assembles and queues the rank-1 update for an accepted flip.
+//
+//qmc:hot
 func (s *spinState) accept(i int, factor float64) {
 	s.effColRow(i)
 	s.push(i, factor)
@@ -292,6 +304,9 @@ func (sw *Sweeper) refreshSpin(s *spinState, cs *greens.ClusterSet, st *greens.S
 	}
 	if trackDrift && sw.proposed > 0 {
 		d := mat.RelDiff(s.g, gNew)
+		// Loose bound: wrap drift is expected and merely bounded; only a
+		// blow-up indicates a propagator or stratification bug.
+		check.Drift("update.refreshSpin wrap", d, 0.05)
 		if d > sw.maxWrapDrift {
 			sw.maxWrapDrift = d
 		}
@@ -321,6 +336,9 @@ func (sw *Sweeper) SetBoundaryHook(h func()) { sw.boundaryHook = h }
 // and a flip is proposed (Algorithm 1). On return the Green's functions
 // correspond to the full chain (cluster boundary 0), ready for equal-time
 // measurements.
+//
+//qmc:charges OpSweeps
+//qmc:hot
 func (sw *Sweeper) Sweep() {
 	obs.Add(obs.OpSweeps, 1)
 	model := sw.Prop.Model
@@ -363,6 +381,8 @@ func (sw *Sweeper) Sweep() {
 }
 
 // proposeFlip carries out the Metropolis step for h[s][i].
+//
+//qmc:hot
 func (sw *Sweeper) proposeFlip(s, i int) {
 	h := sw.Field.H[s][i]
 	aUp := sw.Prop.Alpha(hubbard.Up, h)

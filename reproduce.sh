@@ -12,7 +12,7 @@ else
     BSIZES=${BSIZES:-8,12,16}
 fi
 
-echo "== Verify: fmt, vet, race tests, kernel + sweep regression bench"
+echo "== Verify: fmt, vet, qmclint, race tests, kernel + sweep regression bench"
 UNFORMATTED=$(gofmt -l .)
 if [ -n "$UNFORMATTED" ]; then
     echo "gofmt: the following files need formatting:" >&2
@@ -20,7 +20,14 @@ if [ -n "$UNFORMATTED" ]; then
     exit 1
 fi
 go vet ./...
-go test -race ./internal/parallel/ ./internal/blas/ ./internal/update/ ./internal/greens/ ./internal/obs/
+go run ./cmd/qmclint ./...
+go test -race ./internal/parallel/ ./internal/blas/ ./internal/update/ ./internal/greens/ ./internal/obs/ ./internal/core/ ./internal/gpu/
+echo "== Verify: qmcdebug sanitizer build (NaN/Inf scans, drift asserts, pool bookkeeping)"
+go test -tags qmcdebug ./internal/...
+echo "== Verify: fuzz kernels against reference implementations (10s each)"
+go test ./internal/blas/ -run NoSuchTest -fuzz 'FuzzGemmPackedVsNaive$' -fuzztime 10s
+go test ./internal/lapack/ -run NoSuchTest -fuzz 'FuzzQRReconstruct$' -fuzztime 10s
+go test ./internal/lapack/ -run NoSuchTest -fuzz 'FuzzGetrf$' -fuzztime 10s
 go run ./cmd/kernels -sizes 64,128,256,512,1024 -reps 2 -json BENCH_gemm.json
 go run ./cmd/sweep -json BENCH_sweep.json -bsizes $BSIZES -bsweeps 2
 echo "== Verify: metrics instrumentation overhead gate (<2% on the sweep hot path)"
