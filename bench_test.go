@@ -127,7 +127,8 @@ func BenchmarkFig01_DGEQRF(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				work.CopyFrom(a)
-				lapack.QRFactor(work)
+				qr := lapack.QRFactor(work)
+				qr.Release()
 			}
 			reportGFlops(b, benchutil.QRFlops(n))
 		})
@@ -142,7 +143,29 @@ func BenchmarkFig01_DGEQP3(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				work.CopyFrom(a)
-				lapack.QRPFactor(work)
+				qr, jpvt := lapack.QRPFactor(work)
+				qr.Release()
+				lapack.PutPivot(jpvt)
+			}
+			reportGFlops(b, benchutil.QRFlops(n))
+		})
+	}
+}
+
+// BenchmarkFig01_DGEQP3Level2 measures the retained level-2 pivoted QR —
+// the kernel the paper's Figure 1 actually profiles, and the baseline the
+// blocked QRPFactor is gated against in cmd/kernels -qrpgate.
+func BenchmarkFig01_DGEQP3Level2(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			a := randomMatrix(4, n)
+			work := a.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(a)
+				qr, jpvt := lapack.QRPFactorLevel2(work)
+				qr.Release()
+				lapack.PutPivot(jpvt)
 			}
 			reportGFlops(b, benchutil.QRFlops(n))
 		})

@@ -31,8 +31,9 @@ var obsKernelRegistry = map[string]map[string]string{
 		"Gemm": "OpGemmCalls",
 	},
 	pkgLapack: {
-		"QRFactor":  "OpQRFactorizations",
-		"QRPFactor": "OpQRPFactorizations",
+		"QRFactor":        "OpQRFactorizations",
+		"QRPFactor":       "OpQRPFactorizations",
+		"QRPFactorLevel2": "OpQRPFactorizations",
 	},
 	pkgGreens: {
 		"Wrap":        "OpWraps",
@@ -50,6 +51,7 @@ var obsKernelRegistry = map[string]map[string]string{
 		"Wrap":           "OpWraps",
 		"flush":          "OpDelayedFlushes",
 		"Sweep":          "OpSweeps",
+		"QRFactorHybrid": "OpQRFactorizations",
 	},
 }
 

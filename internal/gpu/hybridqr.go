@@ -7,6 +7,7 @@ import (
 	"questgo/internal/greens"
 	"questgo/internal/lapack"
 	"questgo/internal/mat"
+	"questgo/internal/obs"
 )
 
 // This file implements the paper's Section VII future work: running "most
@@ -33,8 +34,13 @@ type HybridQR struct {
 
 // QRFactorHybrid factors the device-resident matrix a in place. Per panel:
 // download the panel (m-j x nb strip), factor it on the CPU, upload V and
-// T, and update the trailing matrix with three device GEMMs.
+// T, and update the trailing matrix with three device GEMMs. It performs a
+// full QR without going through lapack.QRFactor, so it charges the
+// factorization counter itself (the device GEMMs charge their own flops).
+//
+//qmc:charges OpQRFactorizations
 func QRFactorHybrid(dev *Device, a *Matrix) *HybridQR {
+	obs.Add(obs.OpQRFactorizations, 1)
 	m, n := a.rows, a.cols
 	h := &HybridQR{dev: dev, a: a, m: m, n: n}
 	k := m
@@ -144,7 +150,11 @@ func StratifyHybrid(dev *Device, chain []*mat.Dense) *greens.UDT {
 	n := chain[0].Rows
 
 	// First factorization: full QRP on the host (as in Algorithm 3 —
-	// there is no grading to pre-sort yet), then move to the device.
+	// there is no grading to pre-sort yet), then move to the device. Since
+	// the level-3 rewrite this rides lapack's blocked pre-pivoted panel
+	// factorization, so the pivoted fallback no longer caps the hybrid
+	// path at level-2 throughput; tau and the pivot vector go back to the
+	// lapack pools once the host-side factors are extracted.
 	first := chain[0].Clone()
 	qrp, jpvt := lapack.QRPFactor(first)
 	d := make([]float64, n)
@@ -157,6 +167,8 @@ func StratifyHybrid(dev *Device, chain []*mat.Dense) *greens.UDT {
 	}
 	qHost := mat.New(n, n)
 	qrp.FormQ(qHost)
+	qrp.Release()
+	lapack.PutPivot(jpvt)
 
 	dq := dev.Malloc(n, n)
 	dev.SetMatrix(dq, qHost)

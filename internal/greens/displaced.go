@@ -103,6 +103,7 @@ func (w *DisplacedWalker) refactor() {
 	permuteRowsGather(pt, w.t, perm)
 	blas.Gemm(false, false, 1, r, pt, 0, w.t)
 	qr.FormQ(w.q)
+	qr.Release()
 	putPerm(perm)
 	w.sinceRefactor = 0
 }

@@ -234,8 +234,11 @@ func (st *StratStack) combineInto(dst *mat.Dense, c int) {
 	}
 	qmid := tmp // free again after the permuted copy above
 	qr.FormQ(qmid)
+	qr.Release()
 	if st.prePivot {
 		putPerm(perm)
+	} else {
+		lapack.PutPivot(perm)
 	}
 
 	// Q_new = Q1 * q, T_new = that * Qs^T.

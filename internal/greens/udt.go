@@ -127,7 +127,10 @@ func permuteRowsGather(dst, src *mat.Dense, perm []int) {
 // StratifyQRP runs Algorithm 2 on the matrices bs, given in application
 // order (bs[0] is applied first, i.e. the product is
 // bs[len-1] * ... * bs[1] * bs[0]), and returns its UDT decomposition.
-// Every step uses the QR factorization with column pivoting.
+// Every step uses the QR factorization with column pivoting — since the
+// level-3 rewrite of lapack.QRPFactor this path rides the blocked panel
+// factorization too, so choosing Algorithm 2 no longer forfeits the packed
+// GEMM throughput.
 func StratifyQRP(bs []*mat.Dense) *UDT {
 	return stratify(bs, true)
 }
@@ -162,6 +165,8 @@ func initUDT(u *UDT, b *mat.Dense, work, r *mat.Dense) {
 		copy(u.T.Col(jpvt[j]), r.Col(j))
 	}
 	qr.FormQ(u.Q)
+	qr.Release()
+	lapack.PutPivot(jpvt)
 	obs.Add(obs.OpUDTSteps, 1)
 }
 
@@ -198,7 +203,12 @@ func extendUDT(u *UDT, b *mat.Dense, pivotEveryStep bool, work, r, tNew *mat.Den
 	permuteRowsGather(tNew, u.T, perm)
 	blas.Gemm(false, false, 1, r, tNew, 0, u.T)
 	qr.FormQ(u.Q)
-	putPerm(perm)
+	qr.Release()
+	if pivotEveryStep {
+		lapack.PutPivot(perm)
+	} else {
+		putPerm(perm)
+	}
 	obs.Add(obs.OpUDTSteps, 1)
 }
 

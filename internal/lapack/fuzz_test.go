@@ -109,3 +109,89 @@ func FuzzGetrf(f *testing.F) {
 		}
 	})
 }
+
+// FuzzQRPBlockedVsLevel2 drives the blocked, level-3 pivoted QR and the
+// retained level-2 reference over fuzzer-shaped matrices, including graded
+// and tied column norms. The two downdate schemes round differently, so
+// the pivot sequences are allowed to diverge — but when they agree the |R|
+// diagonals must match, and each path must always satisfy its own
+// reconstruction A·P = Q·R to near machine precision.
+func FuzzQRPBlockedVsLevel2(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint64(1), uint8(0))
+	f.Add(uint8(33), uint8(32), uint64(2), uint8(3))
+	f.Add(uint8(64), uint8(64), uint64(3), uint8(0))
+	f.Add(uint8(70), uint8(40), uint64(4), uint8(9))
+	f.Add(uint8(40), uint8(70), uint64(5), uint8(1))
+	f.Fuzz(func(t *testing.T, m8, n8 uint8, seed uint64, shape uint8) {
+		m := int(m8%80) + 1
+		n := int(n8%80) + 1
+		r := rng.New(seed)
+		orig := randomDense(r, m, n)
+		switch shape % 4 {
+		case 1: // graded columns, the stratified-matrix profile
+			for j := 0; j < n; j++ {
+				s := math.Pow(10, float64(-j)/8)
+				col := orig.Col(j)
+				for i := range col {
+					col[i] *= s
+				}
+			}
+		case 2: // duplicated columns: exact norm ties
+			for j := 1; j < n; j += 2 {
+				copy(orig.Col(j), orig.Col(j-1))
+			}
+		case 3: // a zero column block: rank deficiency
+			for j := n / 2; j < n; j++ {
+				col := orig.Col(j)
+				for i := range col {
+					col[i] = 0
+				}
+			}
+		}
+		check := func(name string, qr *QR, jpvt []int) *mat.Dense {
+			rr := qr.R()
+			qrm := mat.New(m, n)
+			for j := 0; j < n; j++ {
+				copy(qrm.Col(j)[:rr.Rows], rr.Col(j))
+			}
+			qr.MulQ(false, qrm)
+			ap := mat.New(m, n)
+			for j := 0; j < n; j++ {
+				copy(ap.Col(j), orig.Col(jpvt[j]))
+			}
+			tol := 1e-12 * float64(m)
+			if !qrm.EqualApprox(ap, tol) {
+				t.Fatalf("m=%d n=%d seed=%d shape=%d: %s Q*R != A*P (rel diff %.3e, tol %.3e)",
+					m, n, seed, shape%4, name, mat.RelDiff(qrm, ap), tol)
+			}
+			return rr
+		}
+		ab := orig.Clone()
+		qrB, jpvtB := QRPFactor(ab)
+		al := orig.Clone()
+		qrL, jpvtL := QRPFactorLevel2(al)
+		rb := check("blocked", qrB, jpvtB)
+		rl := check("level-2", qrL, jpvtL)
+		same := len(jpvtB) == len(jpvtL)
+		for i := 0; same && i < len(jpvtB); i++ {
+			same = jpvtB[i] == jpvtL[i]
+		}
+		if same {
+			k := m
+			if n < k {
+				k = n
+			}
+			for i := 0; i < k; i++ {
+				db, dl := math.Abs(rb.At(i, i)), math.Abs(rl.At(i, i))
+				if math.Abs(db-dl) > 1e-12*float64(m)*(1+dl) {
+					t.Fatalf("m=%d n=%d seed=%d shape=%d: same pivots but R diagonal %d differs (%g vs %g)",
+						m, n, seed, shape%4, i, db, dl)
+				}
+			}
+		}
+		qrB.Release()
+		qrL.Release()
+		PutPivot(jpvtB)
+		PutPivot(jpvtL)
+	})
+}

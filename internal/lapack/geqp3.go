@@ -10,36 +10,248 @@ import (
 	"questgo/internal/parallel"
 )
 
+// qrpBlock is the panel width of the blocked QRP. Like qrBlock it balances
+// the level-2 panel cost (quadratic in the width) against the per-panel
+// trailing-update and norm-downdate sweeps for DQMC matrix sizes.
+const qrpBlock = 32
+
+// tol3z is sqrt(machine epsilon): the DGEQP3 threshold below which a
+// downdated partial column norm has lost too many digits to cancellation
+// and must be recomputed from the matrix.
+const tol3z = 1.4901161193847656e-08
+
 // QRPFactor computes the QR factorization with column pivoting
 // A*P = Q*R, overwriting a with the DGEQRF-style layout and returning the
 // permutation: jpvt[j] is the original index of the column that ends up in
 // position j (so P in A*P = QR gathers columns in jpvt order).
 //
-// The implementation follows DGEQPF/DGEQP3: at each step the remaining
-// column of largest partial norm is swapped in, one Householder reflector is
-// generated, and the trailing matrix is updated with a matrix-vector product
-// and a rank-1 update. Column norms are downdated with the usual
-// cancellation safeguard and recomputed when unreliable.
+// This is the blocked, level-3 variant in the spirit of the source paper's
+// Algorithm 3 (pre-permute by column norm, then ride the blocked QR) and
+// of LAPACK's DGEQP3/DLAQPS panel scheme:
 //
-// This routine is intentionally level-2 bound — pivot selection needs the
-// updated norms of every remaining column before the next reflector can be
-// chosen, which is exactly the serialization the paper's pre-pivoting
-// variant removes.
+//  1. Pre-pivot a panel: the qrpBlock remaining columns of largest partial
+//     norm are swapped to the elimination frontier in one pass. This is the
+//     per-panel version of the paper's descending-norm pre-sort.
+//  2. Factor the panel with the classic level-2 pivoted QR (qrpPanel),
+//     with both the reflector applications and the residual pivot search
+//     confined to the panel columns — O(m·jb²) level-2 work instead of the
+//     O(m·n·jb) a per-column trailing update would cost.
+//  3. Apply the panel's compact-WY block reflector to the whole trailing
+//     matrix as one GEMM-rich larfb — the same machinery the blocked QR
+//     uses, so the bulk of the flops run at level-3 speed.
+//  4. Downdate all trailing column norms in aggregate (downdateNorms): one
+//     panel row per reflector, with the DGEQP3 cancellation safeguard,
+//     parallelized across columns like ColumnNorms.
 //
-//qmc:charges OpQRPFactorizations
+// The pivot sequence can differ from the level-2 reference
+// (QRPFactorLevel2) when downdating reorders columns mid-panel, but the
+// factorization is exact for whatever permutation it returns (A·P = Q·R to
+// machine precision) and the diagonal of R remains graded, which is all
+// the UDT stratification relies on.
+//
+//qmc:charges OpQRPFactorizations,OpQRPPanels
 //qmc:hot
 func QRPFactor(a *mat.Dense) (*QR, []int) {
 	obs.Add(obs.OpQRPFactorizations, 1)
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
-	tau := make([]float64, k)  //qmc:allow hotalloc -- escapes in the returned QR
-	jpvt := make([]int, n)     //qmc:allow hotalloc -- escapes as the returned pivot vector
+	tau := getTau(k)
+	jpvt := getPivot(n)
+	wk := mat.GetScratch(n, 3)
+	norms := wk.Data[0:n]      // partial (trailing) column norms
+	onorms := wk.Data[n : 2*n] // reference norms for the safeguard
+	work := wk.Data[2*n : 3*n] // reflector workspace
+	lwk := mat.GetScratch(qrpBlock, 2)
+	v := mat.GetScratch(m, qrpBlock)
+	t := mat.GetScratch(qrpBlock, qrpBlock)
+	wrk := mat.GetScratch(2*qrpBlock, n)
+	defer func() {
+		mat.PutScratch(wk)
+		mat.PutScratch(lwk)
+		mat.PutScratch(v)
+		mat.PutScratch(t)
+		mat.PutScratch(wrk)
+	}()
+
+	//qmc:allow hotalloc -- one closure per factorization, amortized over the O(mn) norm sweep
+	parallel.For(n, 16, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			jpvt[j] = j
+			norms[j] = blas.Nrm2(a.Col(j))
+			onorms[j] = norms[j]
+		}
+	})
+
+	panels := int64(0)
+	for j := 0; j < k; j += qrpBlock {
+		jb := min(qrpBlock, k-j)
+		// Step 1: greedily swap the jb largest partial norms to the front.
+		// Strict > with first-index-wins matches the level-2 tie policy.
+		for s := j; s < j+jb; s++ {
+			p := s
+			for c := s + 1; c < n; c++ {
+				if norms[c] > norms[p] {
+					p = c
+				}
+			}
+			if p != s {
+				blas.Swap(a.Col(p), a.Col(s))
+				jpvt[p], jpvt[s] = jpvt[s], jpvt[p]
+				norms[p] = norms[s]
+				onorms[p] = onorms[s]
+			}
+		}
+		// Step 2: level-2 pivoted QR confined to the panel.
+		qrpPanel(a, j, jb, tau[j:j+jb], jpvt, lwk.Data[0:qrpBlock], lwk.Data[qrpBlock:2*qrpBlock], work)
+		if j+jb < n {
+			// Step 3: one block-reflector GEMM sweep over the trailing matrix.
+			vv := v.View(0, 0, m-j, jb)
+			copyReflectors(a.View(j, j, m-j, jb), vv)
+			tt := t.View(0, 0, jb, jb)
+			larft(vv, tau[j:j+jb], tt)
+			trail := a.View(j, j+jb, m-j, n-j-jb)
+			larfb(vv, tt, true, trail, wrk)
+			// Step 4: aggregated norm downdate for the next panel's pivots.
+			downdateNorms(a, j, jb, norms, onorms)
+		}
+		panels++
+	}
+	obs.Add(obs.OpQRPPanels, panels)
+	check.Finite("lapack.QRPFactor", a)
+	check.FiniteSlice("lapack.QRPFactor tau", tau)
+	return &QR{A: a, Tau: tau}, jpvt
+}
+
+// qrpPanel runs the level-2 column-pivoted QR on the pre-pivoted panel
+// a[j:m, j:j+jb]: at each step the remaining *panel* column of largest
+// partial norm is swapped in (full-height swap, so R rows above the
+// frontier stay consistent), one reflector is generated, and only the
+// remaining panel columns are updated. Panel-local norms start exact (the
+// columns are about to stream through the cache anyway) and are downdated
+// with the usual safeguard, so the within-panel elimination order is the
+// classic greedy one and the panel's R diagonal is non-increasing.
+func qrpPanel(a *mat.Dense, j, jb int, tau []float64, jpvt []int, lnorms, lonorms, work []float64) {
+	m := a.Rows
+	lnorms = lnorms[:jb]
+	lonorms = lonorms[:jb]
+	for s := 0; s < jb; s++ {
+		lnorms[s] = blas.Nrm2(a.Col(j + s)[j:])
+		lonorms[s] = lnorms[s]
+	}
+	for i := 0; i < jb; i++ {
+		ji := j + i
+		p := i
+		for s := i + 1; s < jb; s++ {
+			if lnorms[s] > lnorms[p] {
+				p = s
+			}
+		}
+		if p != i {
+			blas.Swap(a.Col(j+p), a.Col(ji))
+			jpvt[j+p], jpvt[ji] = jpvt[ji], jpvt[j+p]
+			lnorms[p] = lnorms[i]
+			lonorms[p] = lonorms[i]
+		}
+		col := a.Col(ji)
+		beta, t := larfg(col[ji], col[ji+1:])
+		tau[i] = t
+		if i+1 < jb && t != 0 {
+			save := col[ji]
+			col[ji] = 1
+			trail := a.View(ji, ji+1, m-ji, jb-i-1)
+			larf(col[ji:], t, trail, work)
+			col[ji] = save
+		}
+		col[ji] = beta
+		for s := i + 1; s < jb; s++ {
+			if lnorms[s] == 0 {
+				continue
+			}
+			r := math.Abs(a.At(ji, j+s)) / lnorms[s]
+			temp := 1 - r*r
+			if temp < 0 {
+				temp = 0
+			}
+			temp2 := temp * (lnorms[s] / lonorms[s]) * (lnorms[s] / lonorms[s])
+			if temp2 <= tol3z {
+				if ji+1 < m {
+					lnorms[s] = blas.Nrm2(a.Col(j + s)[ji+1:])
+				} else {
+					lnorms[s] = 0
+				}
+				lonorms[s] = lnorms[s]
+			} else {
+				lnorms[s] *= math.Sqrt(temp)
+			}
+		}
+	}
+}
+
+// downdateNorms downdates the partial norms of the trailing columns after a
+// whole panel's block update, preserving the DGEQP3 cancellation safeguard.
+// Reflector i of the panel only ever modifies rows >= j+i, so after the
+// aggregated larfb, rows j..j+jb-1 of a trailing column hold exactly the
+// values the level-2 algorithm would have downdated with step by step.
+//
+// The per-step safeguard collapses to a single test: in squared form,
+// LAPACK's recompute condition temp·(norm/onorm)² <= tol3z at step i reads
+// ns_i <= tol3z·onorm², where ns_i is the downdated squared norm after
+// removing rows j..j+i and onorm is fixed between recomputes. ns_i decreases
+// monotonically in i, so some step trips iff the final ns does — and a
+// tripped column is recomputed from the fully updated frontier j+jb no
+// matter which step tripped. The whole walk therefore reduces to one dot
+// product of the jb panel rows per column plus one compare. Independent per
+// column, hence parallelized like ColumnNorms.
+//
+//qmc:hot
+func downdateNorms(a *mat.Dense, j, jb int, norms, onorms []float64) {
+	n := a.Cols
+	//qmc:allow hotalloc -- one closure per panel, amortized over the O((n-j)·jb) downdate
+	parallel.For(n-j-jb, 32, func(lo, hi int) {
+		for c := j + jb + lo; c < j+jb+hi; c++ {
+			if norms[c] == 0 {
+				continue
+			}
+			col := a.Col(c)
+			head := col[j : j+jb]
+			ns := norms[c]*norms[c] - blas.Dot(head, head)
+			if ns <= tol3z*onorms[c]*onorms[c] {
+				norms[c] = blas.Nrm2(col[j+jb:])
+				onorms[c] = norms[c]
+			} else {
+				norms[c] = math.Sqrt(ns)
+			}
+		}
+	})
+}
+
+// QRPFactorLevel2 is the retained classic DGEQPF-style reference: at each
+// step the remaining column of largest partial norm is swapped in, one
+// Householder reflector is generated, and the trailing matrix is updated
+// with a matrix-vector product and a rank-1 update. Column norms are
+// downdated with the usual cancellation safeguard and recomputed when
+// unreliable.
+//
+// This routine is intentionally level-2 bound — pivot selection needs the
+// updated norms of every remaining column before the next reflector can be
+// chosen, which is exactly the serialization the blocked QRPFactor (and,
+// more aggressively, the paper's whole-matrix pre-pivoting) removes. It is
+// kept as the equivalence oracle for the blocked path and as the baseline
+// series of cmd/kernels.
+//
+//qmc:charges OpQRPFactorizations
+//qmc:hot
+func QRPFactorLevel2(a *mat.Dense) (*QR, []int) {
+	obs.Add(obs.OpQRPFactorizations, 1)
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	tau := getTau(k)
+	jpvt := getPivot(n)
 	wk := mat.GetScratch(n, 3) // pooled: norms | onorms | gemv workspace
 	norms := wk.Data[0:n]      // partial (trailing) column norms
 	onorms := wk.Data[n : 2*n] // reference norms for the safeguard
 	work := wk.Data[2*n : 3*n] // gemv workspace
 	defer mat.PutScratch(wk)
-	const tol3z = 1.4901161193847656e-08 // sqrt(machine epsilon)
 
 	//qmc:allow hotalloc -- one closure per factorization, amortized over the O(mn) norm sweep
 	parallel.For(n, 16, func(lo, hi int) {
@@ -99,8 +311,8 @@ func QRPFactor(a *mat.Dense) (*QR, []int) {
 			}
 		}
 	}
-	check.Finite("lapack.QRPFactor", a)
-	check.FiniteSlice("lapack.QRPFactor tau", tau)
+	check.Finite("lapack.QRPFactorLevel2", a)
+	check.FiniteSlice("lapack.QRPFactorLevel2 tau", tau)
 	return &QR{A: a, Tau: tau}, jpvt
 }
 

@@ -1,0 +1,65 @@
+package lapack
+
+import "sync"
+
+// Factorization-output pools.
+//
+// QRFactor/QRPFactor run in the innermost stratification loop (once per
+// cluster-UDT step), and their outputs — the scalar reflector factors tau
+// and, for the pivoted variant, the permutation vector — used to be
+// allocated fresh on every call because they escape in the returned QR.
+// The stratification call sites consume both within the same step, so the
+// buffers are recycled through package pools instead: the factorizations
+// draw from getTau/getPivot and the call sites hand the storage back with
+// QR.Release / PutPivot once the factors are dead. Callers that keep the
+// QR (tests, diagnostics) simply never release it and the buffers fall to
+// the garbage collector — correctness never depends on the pool.
+
+// tauPool recycles the tau vectors of released QR factorizations.
+var tauPool sync.Pool
+
+// getTau returns a length-k slice for the scalar reflector factors, reusing
+// a released buffer when one is large enough. Every entry is written by the
+// factorization, so stale pool contents are never observed.
+func getTau(k int) []float64 {
+	if v, ok := tauPool.Get().(*[]float64); ok && cap(*v) >= k {
+		return (*v)[:k]
+	}
+	return make([]float64, k)
+}
+
+// Release returns the factorization's tau buffer to the package pool and
+// clears the reference. Call it only when the QR is dead: after Release the
+// receiver must not be used for R/RInto/MulQ/FormQ. The factored matrix A
+// belongs to the caller and is untouched. Safe on a nil receiver and
+// idempotent, so defensive double-releases are harmless.
+func (qr *QR) Release() {
+	if qr == nil || cap(qr.Tau) == 0 {
+		return
+	}
+	t := qr.Tau
+	tauPool.Put(&t)
+	qr.Tau = nil
+}
+
+// pivotPool recycles the permutation vectors returned by QRPFactor.
+var pivotPool sync.Pool
+
+// getPivot returns a length-n pivot slice, reusing a returned buffer when
+// one is large enough. QRPFactor initializes every entry.
+func getPivot(n int) []int {
+	if v, ok := pivotPool.Get().(*[]int); ok && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]int, n)
+}
+
+// PutPivot returns a permutation vector obtained from QRPFactor (or
+// QRPFactorLevel2) to the package pool. The caller must not use the slice
+// afterwards.
+func PutPivot(p []int) {
+	if cap(p) == 0 {
+		return
+	}
+	pivotPool.Put(&p)
+}

@@ -31,6 +31,7 @@ type OpMetrics struct {
 	GemmFlops         int64 `json:"gemm_flops"`
 	QRFactorizations  int64 `json:"qr_factorizations"`
 	QRPFactorizations int64 `json:"qrp_factorizations"`
+	QRPPanels         int64 `json:"qrp_panels"`
 	UDTSteps          int64 `json:"udt_steps"`
 	DelayedFlushes    int64 `json:"delayed_flushes"`
 	Wraps             int64 `json:"wraps"`
@@ -47,6 +48,7 @@ func fromCounts(d OpCounts) OpMetrics {
 		GemmFlops:         d[OpGemmFlops],
 		QRFactorizations:  d[OpQRFactorizations],
 		QRPFactorizations: d[OpQRPFactorizations],
+		QRPPanels:         d[OpQRPPanels],
 		UDTSteps:          d[OpUDTSteps],
 		DelayedFlushes:    d[OpDelayedFlushes],
 		Wraps:             d[OpWraps],

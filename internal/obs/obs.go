@@ -87,6 +87,10 @@ const (
 	// and column-pivoted QR (DGEQP3) factorizations.
 	OpQRFactorizations
 	OpQRPFactorizations
+	// OpQRPPanels counts the pre-pivoted panels processed by the blocked
+	// QRP (~n/qrpBlock per factorization): the unit of its level-3
+	// trailing updates and aggregated norm downdates.
+	OpQRPPanels
 	// OpUDTSteps counts cluster-level UDT factorization steps (one per
 	// matrix absorbed into a decomposition, plus one per stack combine).
 	OpUDTSteps
@@ -119,6 +123,8 @@ func (o Op) String() string {
 		return "qr_factorizations"
 	case OpQRPFactorizations:
 		return "qrp_factorizations"
+	case OpQRPPanels:
+		return "qrp_panels"
 	case OpUDTSteps:
 		return "udt_steps"
 	case OpDelayedFlushes:
