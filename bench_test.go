@@ -145,7 +145,7 @@ func BenchmarkFig01_DGEQP3(b *testing.B) {
 				work.CopyFrom(a)
 				qr, jpvt := lapack.QRPFactor(work)
 				qr.Release()
-				lapack.PutPivot(jpvt)
+				lapack.PutPivot(&jpvt)
 			}
 			reportGFlops(b, benchutil.QRFlops(n))
 		})
@@ -165,7 +165,7 @@ func BenchmarkFig01_DGEQP3Level2(b *testing.B) {
 				work.CopyFrom(a)
 				qr, jpvt := lapack.QRPFactorLevel2(work)
 				qr.Release()
-				lapack.PutPivot(jpvt)
+				lapack.PutPivot(&jpvt)
 			}
 			reportGFlops(b, benchutil.QRFlops(n))
 		})

@@ -7,7 +7,7 @@
 //
 //	dqmc [-in run.in] [-nx 4] [-ny 4] [-layers 1] [-u 4] [-mu 0]
 //	     [-beta 2] [-l 10] [-warm 50] [-meas 100] [-k 10] [-seed 1]
-//	     [-prepivot] [-progress] [-stability 8] [-json out.json]
+//	     [-prepivot] [-progress] [-stability 8] [-autopilot] [-json out.json]
 //
 // Interrupting a run (SIGINT/SIGTERM) stops it at the next sweep boundary;
 // with -checkpoint set the Markov-chain state is saved there so the run can
@@ -56,6 +56,7 @@ func main() {
 	dynamics := flag.Bool("dynamics", false, "measure time-displaced G(d,tau) as well")
 	progress := flag.Bool("progress", false, "print per-sweep progress")
 	stability := flag.Int("stability", 0, "sample the stack-vs-rebuild residual every N cluster boundaries (0 = off)")
+	auto := flag.Bool("autopilot", false, "adapt k and the stability-check cadence from live telemetry")
 	jsonOut := flag.String("json", "", "also write results (with phase metrics) as JSON to this file")
 	walkers := flag.Int("walkers", 1, "independent parallel Markov chains to merge")
 	ckptOut := flag.String("checkpoint", "", "write a restart file here after the run (or on interrupt)")
@@ -137,6 +138,9 @@ func main() {
 	}
 	if *stability > 0 {
 		opts = append(opts, questgo.WithStabilityCheck(*stability))
+	}
+	if *auto {
+		opts = append(opts, questgo.WithAutopilot(true))
 	}
 	cfg, err := cfg.With(opts...)
 	if err != nil {
@@ -241,6 +245,15 @@ func main() {
 			fmt.Printf("Stability: strat residual max %.2e over %d checks, UDT cond max 1e%.1f\n",
 				m.Stability.MaxStratResidual, m.Stability.StratResidualSamples,
 				m.Stability.MaxUDTCondLog10)
+		}
+		if ap := m.Autopilot; ap != nil && ap.Enabled {
+			fmt.Printf("Autopilot: k %d -> %d, check cadence %d -> %d (%d shrinks, %d grows)\n",
+				ap.InitialK, ap.FinalK, ap.InitialCheckEvery, ap.FinalCheckEvery,
+				ap.Shrinks, ap.Grows)
+			if ap.NonFinite {
+				fmt.Printf("Autopilot: %d non-finite stability samples — emergency minimum engaged\n",
+					ap.NonFiniteEvents)
+			}
 		}
 	}
 	if len(res.DisplacedTaus) > 0 {

@@ -94,13 +94,13 @@ func main() {
 			work.CopyFrom(a)
 			qr, jpvt := lapack.QRPFactorLevel2(work)
 			qr.Release()
-			lapack.PutPivot(jpvt)
+			lapack.PutPivot(&jpvt)
 		})
 		qrpBlkSec := benchutil.TimeIt(*reps, 200*time.Millisecond, func() {
 			work.CopyFrom(a)
 			qr, jpvt := lapack.QRPFactor(work)
 			qr.Release()
-			lapack.PutPivot(jpvt)
+			lapack.PutPivot(&jpvt)
 		})
 
 		gemmGF := benchutil.GFlops(benchutil.GemmFlops(n), gemmSec)

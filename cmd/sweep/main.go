@@ -24,6 +24,14 @@
 // reproduce.sh:
 //
 //	sweep -obscheck -obsmax 2
+//
+// With -autopilot, the command instead runs the stability-autopilot
+// ablation: one fixed-k run and one autopilot run of the same chain, each
+// appending a benchutil.Record to the named file. With -apgate it fails
+// unless the controller held the strat residual under -apres without
+// checking more often or running slower than the fixed baseline:
+//
+//	sweep -autopilot BENCH_autopilot.json -apbeta 32 -apgate
 package main
 
 import (
@@ -70,7 +78,26 @@ func main() {
 	obsmax := flag.Float64("obsmax", 2.0, "maximum tolerated instrumentation overhead, percent")
 	obsnx := flag.Int("obsnx", 8, "overhead mode: lattice linear size")
 	obsreps := flag.Int("obsreps", 3, "overhead mode: interleaved repetitions per variant")
+	apPath := flag.String("autopilot", "", "ablation mode: append autopilot-vs-fixed records to this file")
+	apnx := flag.Int("apnx", 4, "ablation lattice linear size")
+	apbeta := flag.Float64("apbeta", 32, "ablation inverse temperature")
+	apl := flag.Int("apl", 160, "ablation time slices")
+	apk := flag.Int("apk", 10, "ablation initial cluster size k")
+	apcheck := flag.Int("apcheck", 2, "ablation fixed stability-check cadence")
+	apwarm := flag.Int("apwarm", 5, "ablation warmup sweeps")
+	apmeas := flag.Int("apmeas", 15, "ablation measurement sweeps")
+	apgate := flag.Bool("apgate", false, "fail unless the autopilot matches the fixed run's residual, checks and wall time")
+	apres := flag.Float64("apres", 1e-8, "ablation max tolerated strat residual")
 	flag.Parse()
+
+	if *apPath != "" {
+		if err := runAutopilotBench(*apPath, *apnx, *apbeta, *apl, *apk, *apcheck,
+			*apwarm, *apmeas, *apres, *apgate); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *obscheck {
 		if err := runObsCheck(*obsnx, *bl, *bk, *bsweeps, *obsreps, *obsmax); err != nil {
@@ -247,6 +274,107 @@ func runSweepBench(path, sizesFlag string, l, k, sweeps int) error {
 		}
 	}
 	tbl.Render(os.Stdout)
+	return nil
+}
+
+// runAutopilotBench runs the stability-autopilot ablation: the same Markov
+// chain once with fixed k and check cadence, once under the controller, and
+// appends one benchutil.Record per variant. The gate asserts the controller
+// earns its keep — residual held under maxRes, no more residual checks than
+// the fixed baseline (the adapted cadence is never denser), and wall time
+// within 10% of the fixed run.
+func runAutopilotBench(path string, nx int, beta float64, l, k, check, warm, meas int, maxRes float64, gate bool) error {
+	base, err := questgo.NewConfig(
+		questgo.WithLattice(nx, nx),
+		questgo.WithInteraction(4, 0),
+		questgo.WithTemperature(beta, l),
+		questgo.WithSchedule(warm, meas),
+		questgo.WithClusterK(k),
+		questgo.WithStabilityCheck(check),
+		questgo.WithSeed(1),
+	)
+	if err != nil {
+		return err
+	}
+	auto, err := base.With(questgo.WithAutopilot(true))
+	if err != nil {
+		return err
+	}
+
+	type outcome struct {
+		res     *questgo.Results
+		secs    float64
+		checks  int64
+		maxRes  float64
+		finalK  int
+		cadence int
+	}
+	runOne := func(cfg questgo.Config) (*outcome, error) {
+		start := time.Now()
+		res, err := questgo.Run(context.Background(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		o := &outcome{
+			res:     res,
+			secs:    time.Since(start).Seconds(),
+			checks:  res.Metrics.Stability.StratResidualSamples,
+			maxRes:  res.Metrics.Stability.MaxStratResidual,
+			finalK:  cfg.ClusterK,
+			cadence: cfg.StabilityCheckEvery,
+		}
+		if ap := res.Metrics.Autopilot; ap != nil && ap.Enabled {
+			o.finalK = ap.FinalK
+			o.cadence = ap.FinalCheckEvery
+		}
+		return o, nil
+	}
+
+	fmt.Printf("Autopilot ablation: %dx%d, beta=%g L=%d, k=%d check=%d, %d+%d sweeps\n\n",
+		nx, nx, beta, l, k, check, warm, meas)
+	fixed, err := runOne(base)
+	if err != nil {
+		return err
+	}
+	piloted, err := runOne(auto)
+	if err != nil {
+		return err
+	}
+
+	tbl := benchutil.NewTable("variant", "final k", "cadence", "checks", "max residual", "wall s")
+	for _, pt := range []struct {
+		name string
+		o    *outcome
+	}{{"fixed", fixed}, {"autopilot", piloted}} {
+		tbl.AddRow(pt.name, pt.o.finalK, pt.o.cadence, pt.o.checks,
+			fmt.Sprintf("%.2e", pt.o.maxRes), fmt.Sprintf("%.2f", pt.o.secs))
+		resLog := 0
+		if pt.o.maxRes > 0 {
+			resLog = int(math.Floor(math.Log10(pt.o.maxRes)))
+		}
+		rec := benchutil.NewRecord("autopilot", pt.name, nx*nx, pt.o.secs, 0).
+			WithParam("nx", nx).WithParam("l", l).WithParam("k", pt.o.finalK).
+			WithParam("beta", int(beta)).WithParam("cadence", pt.o.cadence).
+			WithParam("checks", int(pt.o.checks)).WithParam("res_log10", resLog)
+		if err := rec.Append(path); err != nil {
+			return err
+		}
+	}
+	tbl.Render(os.Stdout)
+
+	if !gate {
+		return nil
+	}
+	switch {
+	case piloted.maxRes > maxRes:
+		return fmt.Errorf("autopilot let the strat residual reach %.2e (gate %.1e)", piloted.maxRes, maxRes)
+	case piloted.checks > fixed.checks:
+		return fmt.Errorf("autopilot checked %d times, denser than the fixed baseline's %d", piloted.checks, fixed.checks)
+	case piloted.secs > 1.10*fixed.secs:
+		return fmt.Errorf("autopilot wall %.2fs exceeds fixed %.2fs by more than 10%%", piloted.secs, fixed.secs)
+	}
+	fmt.Printf("\ngate passed: residual %.2e <= %.1e, %d <= %d checks, wall %.2fs vs %.2fs\n",
+		piloted.maxRes, maxRes, piloted.checks, fixed.checks, piloted.secs, fixed.secs)
 	return nil
 }
 

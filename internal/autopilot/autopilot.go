@@ -1,0 +1,582 @@
+// Package autopilot closes the loop from stability telemetry to sweep
+// control. A Controller subscribes to the live sample stream of an
+// obs.Collector (wrap drift, stack-vs-rebuild stratification residual,
+// log10 UDT condition) and adapts two knobs between sweeps: the cluster
+// size k (the wrapping count, which decides how much error the stratified
+// stack must absorb per boundary) and the stability-check cadence (how
+// often the expensive stack-vs-rebuild residual is evaluated).
+//
+// Control law, evaluated once per sweep from the window of samples the
+// sweep produced:
+//
+//   - Any non-finite sample is an emergency: k drops to the smallest
+//     admissible divisor of L, the cadence to its minimum, and the grow cap
+//     freezes there — a blown-up Green's function is not a signal to probe
+//     with.
+//   - A ceiling breach (condition, drift, or residual above its configured
+//     ceiling) shrinks k to the next smaller divisor of L and halves the
+//     cadence interval. The breached values become hard caps: the
+//     controller never grows back to a k or a cadence that has already
+//     failed. This monotone cap is what makes oscillation impossible — the
+//     set of reachable (k, cadence) pairs only ever shrinks.
+//   - After Patience consecutive stable sweeps (every gated probe under
+//     its floor) outside a post-change cooldown, k stretches to the
+//     largest divisor of L at most twice the current k and the cadence
+//     doubles, both clamped by the caps.
+//
+// k is divisor-constrained: every step lands on a divisor of L so the
+// cluster partition stays exact. The controller is safe for concurrent
+// ObserveStability calls (the spin-parallel sweep samples from two
+// goroutines); EndSweep and the accessors take the same lock.
+package autopilot
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"questgo/internal/obs"
+)
+
+// Config parameterizes a Controller. The zero value of every optional
+// field selects the documented default; L and InitialK are mandatory.
+type Config struct {
+	// L is the number of imaginary-time slices; every k the controller
+	// picks divides L. InitialK is the starting cluster size (must divide
+	// L); InitialCheckEvery the starting residual-check cadence in
+	// boundaries (default 4).
+	L                 int
+	InitialK          int
+	InitialCheckEvery int
+
+	// MinK/MaxK bound the cluster size (defaults 1 and InitialK: the
+	// controller shrinks below the configured k and recovers back, but
+	// never exceeds it unless MaxK is raised explicitly).
+	// MinCheckEvery/MaxCheckEvery bound the cadence (defaults 1 and 16).
+	MinK          int
+	MaxK          int
+	MinCheckEvery int
+	MaxCheckEvery int
+
+	// Patience is the number of consecutive stable sweeps required before
+	// a grow step (default 3). Cooldown is the number of sweeps after any
+	// change during which no further change is considered (default 2).
+	Patience int
+	Cooldown int
+
+	// Ceilings trigger shrink steps; floors gate grow steps. A zero
+	// ceiling or floor disables that probe's contribution. Defaults:
+	// condition ceiling 280 (log10; an overflow guard — the graded UDT
+	// absorbs condition, so it scales with beta, not k), drift ceiling
+	// 1e-3, residual ceiling 1e-9, drift floor 1e-4, residual floor
+	// 1e-10, condition floor 0 (disabled). A wrap drift of ~1e-5 is the
+	// healthy level of a well-stabilized beta = 32 chain, so the drift
+	// ceiling sits two decades above it; when a default floor would sit
+	// at or above an explicitly lowered ceiling it tracks ceiling/10.
+	CondCeilLog10  float64
+	CondFloorLog10 float64
+	DriftCeil      float64
+	DriftFloor     float64
+	ResidualCeil   float64
+	ResidualFloor  float64
+
+	// MaxDecisions caps the retained per-change decision log (default 64).
+	MaxDecisions int
+}
+
+// withDefaults returns cfg with every zero optional field replaced by its
+// default.
+func (cfg Config) withDefaults() Config {
+	if cfg.InitialCheckEvery == 0 {
+		cfg.InitialCheckEvery = 4
+	}
+	if cfg.MinK == 0 {
+		cfg.MinK = 1
+	}
+	if cfg.MaxK == 0 {
+		// The configured k is the trusted upper bound: stratification error
+		// grows exponentially in the cluster size, so a k that looks to have
+		// floors of headroom can still be one growth step from a cliff. By
+		// default the controller only shrinks below the configured k and
+		// recovers back to it; raising MaxK explicitly opts into exploring
+		// larger clusters.
+		cfg.MaxK = cfg.InitialK
+	}
+	if cfg.MinCheckEvery == 0 {
+		cfg.MinCheckEvery = 1
+	}
+	if cfg.MaxCheckEvery == 0 {
+		cfg.MaxCheckEvery = 16
+		if cfg.MaxCheckEvery < cfg.InitialCheckEvery {
+			cfg.MaxCheckEvery = cfg.InitialCheckEvery
+		}
+	}
+	if cfg.Patience == 0 {
+		cfg.Patience = 3
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = 2
+	}
+	if cfg.CondCeilLog10 == 0 {
+		cfg.CondCeilLog10 = 280
+	}
+	if cfg.DriftCeil == 0 {
+		cfg.DriftCeil = 1e-3
+	}
+	if cfg.DriftFloor == 0 {
+		cfg.DriftFloor = 1e-4
+		// Track an explicitly lowered ceiling so the default floor stays
+		// strictly below it.
+		if cfg.DriftCeil > 0 && cfg.DriftFloor >= cfg.DriftCeil {
+			cfg.DriftFloor = cfg.DriftCeil / 10
+		}
+	}
+	if cfg.ResidualCeil == 0 {
+		cfg.ResidualCeil = 1e-9
+	}
+	if cfg.ResidualFloor == 0 {
+		cfg.ResidualFloor = 1e-10
+		if cfg.ResidualCeil > 0 && cfg.ResidualFloor >= cfg.ResidualCeil {
+			cfg.ResidualFloor = cfg.ResidualCeil / 10
+		}
+	}
+	if cfg.MaxDecisions == 0 {
+		cfg.MaxDecisions = 64
+	}
+	return cfg
+}
+
+// validate checks the defaulted config for consistency.
+func (cfg Config) validate() error {
+	if cfg.L < 1 {
+		return fmt.Errorf("autopilot: L = %d, want >= 1", cfg.L)
+	}
+	if cfg.InitialK < 1 || cfg.L%cfg.InitialK != 0 {
+		return fmt.Errorf("autopilot: InitialK = %d must be a positive divisor of L = %d", cfg.InitialK, cfg.L)
+	}
+	if cfg.MinK < 1 || cfg.MinK > cfg.InitialK {
+		return fmt.Errorf("autopilot: MinK = %d, want 1 <= MinK <= InitialK = %d", cfg.MinK, cfg.InitialK)
+	}
+	if cfg.MaxK < cfg.InitialK {
+		return fmt.Errorf("autopilot: MaxK = %d, want >= InitialK = %d", cfg.MaxK, cfg.InitialK)
+	}
+	if cfg.MinCheckEvery < 1 || cfg.MinCheckEvery > cfg.InitialCheckEvery {
+		return fmt.Errorf("autopilot: MinCheckEvery = %d, want 1 <= MinCheckEvery <= InitialCheckEvery = %d",
+			cfg.MinCheckEvery, cfg.InitialCheckEvery)
+	}
+	if cfg.MaxCheckEvery < cfg.InitialCheckEvery {
+		return fmt.Errorf("autopilot: MaxCheckEvery = %d, want >= InitialCheckEvery = %d",
+			cfg.MaxCheckEvery, cfg.InitialCheckEvery)
+	}
+	if cfg.Patience < 1 || cfg.Cooldown < 0 {
+		return fmt.Errorf("autopilot: Patience = %d (want >= 1), Cooldown = %d (want >= 0)", cfg.Patience, cfg.Cooldown)
+	}
+	for _, v := range []struct {
+		name string
+		v    float64
+	}{
+		{"CondCeilLog10", cfg.CondCeilLog10}, {"CondFloorLog10", cfg.CondFloorLog10},
+		{"DriftCeil", cfg.DriftCeil}, {"DriftFloor", cfg.DriftFloor},
+		{"ResidualCeil", cfg.ResidualCeil}, {"ResidualFloor", cfg.ResidualFloor},
+	} {
+		if math.IsNaN(v.v) || v.v < 0 {
+			return fmt.Errorf("autopilot: %s = %v, want finite and >= 0", v.name, v.v)
+		}
+	}
+	if cfg.CondFloorLog10 > 0 && cfg.CondFloorLog10 >= cfg.CondCeilLog10 {
+		return fmt.Errorf("autopilot: CondFloorLog10 = %v >= CondCeilLog10 = %v", cfg.CondFloorLog10, cfg.CondCeilLog10)
+	}
+	if cfg.DriftFloor > 0 && cfg.DriftCeil > 0 && cfg.DriftFloor >= cfg.DriftCeil {
+		return fmt.Errorf("autopilot: DriftFloor = %v >= DriftCeil = %v", cfg.DriftFloor, cfg.DriftCeil)
+	}
+	if cfg.ResidualFloor > 0 && cfg.ResidualCeil > 0 && cfg.ResidualFloor >= cfg.ResidualCeil {
+		return fmt.Errorf("autopilot: ResidualFloor = %v >= ResidualCeil = %v", cfg.ResidualFloor, cfg.ResidualCeil)
+	}
+	return nil
+}
+
+// State is the controller's complete mutable state, exported so checkpoints
+// can persist it (gob) and resume mid-trajectory: the adapted k and cadence
+// plus the hysteresis caps and streak counters that make the next decision
+// reproducible.
+type State struct {
+	K               int
+	CheckEvery      int
+	KCap            int
+	CheckEveryCap   int
+	StableStreak    int
+	CooldownLeft    int
+	Sweep           int
+	Shrinks         int
+	Grows           int
+	NonFiniteEvents int
+	NonFinite       bool
+}
+
+// Action is EndSweep's verdict: the knob settings the next sweep should run
+// with, and whether they changed.
+type Action struct {
+	K          int
+	CheckEvery int
+	Changed    bool
+	Reason     string
+}
+
+// Controller is the feedback controller. Create with New, attach with
+// obs.Collector.SetStabilityListener, call EndSweep between sweeps.
+type Controller struct {
+	cfg Config
+
+	mu sync.Mutex
+	st State
+	// Per-sweep sample window: max and count per probe, reset by EndSweep.
+	winMax       [obs.NumProbes]float64
+	winN         [obs.NumProbes]int64
+	winNonFinite bool
+	// lastRes is the most recent finite strat residual across sweeps: the
+	// residual is sampled at cadence frequency, so most sweep windows have
+	// no residual sample and growth gates on the last known reading.
+	lastRes float64
+	resSeen bool
+
+	initialK          int
+	initialCheckEvery int
+	decisions         []obs.AutopilotDecision
+	decisionsDropped  bool
+}
+
+// New builds a controller from cfg (zero optional fields take defaults).
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg: cfg,
+		st: State{
+			K:             cfg.InitialK,
+			CheckEvery:    cfg.InitialCheckEvery,
+			KCap:          cfg.MaxK,
+			CheckEveryCap: cfg.MaxCheckEvery,
+		},
+		initialK:          cfg.InitialK,
+		initialCheckEvery: cfg.InitialCheckEvery,
+	}, nil
+}
+
+// ObserveStability implements obs.StabilityListener: it folds one sample
+// into the current sweep window. Called concurrently from the spin-parallel
+// sweep phases; must stay cheap (one mutex, no allocation).
+func (c *Controller) ObserveStability(p obs.StabilityProbe, v float64) {
+	c.mu.Lock()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		c.winNonFinite = true
+	} else {
+		if c.winN[p] == 0 || v > c.winMax[p] {
+			c.winMax[p] = v
+		}
+		c.winN[p]++
+		if p == obs.ProbeStratResidual {
+			c.lastRes = v
+			c.resSeen = true
+		}
+	}
+	c.mu.Unlock()
+}
+
+// EndSweep evaluates the control law over the sweep's sample window and
+// returns the settings the next sweep should use. Call it exactly once per
+// completed sweep, from the sweep goroutine (not concurrently with itself).
+func (c *Controller) EndSweep() Action {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	c.st.Sweep++
+	nonFinite := c.winNonFinite
+	var winMax [obs.NumProbes]float64
+	var winN [obs.NumProbes]int64
+	copy(winMax[:], c.winMax[:])
+	copy(winN[:], c.winN[:])
+	c.winNonFinite = false
+	for p := range c.winMax {
+		c.winMax[p] = 0
+		c.winN[p] = 0
+	}
+
+	prevK, prevCheck := c.st.K, c.st.CheckEvery
+
+	switch {
+	case nonFinite:
+		// Emergency: drop to the most conservative admissible settings and
+		// freeze the caps there. No recovery path from a NaN sweep.
+		c.st.NonFinite = true
+		c.st.NonFiniteEvents++
+		k := smallestDivisorAtLeast(c.cfg.L, c.cfg.MinK)
+		c.st.K = k
+		c.st.KCap = k
+		c.st.CheckEvery = c.cfg.MinCheckEvery
+		c.st.CheckEveryCap = c.cfg.MinCheckEvery
+		c.st.StableStreak = 0
+		c.st.CooldownLeft = c.cfg.Cooldown
+		if c.st.K != prevK || c.st.CheckEvery != prevCheck {
+			c.st.Shrinks++
+			c.record("non_finite", math.NaN())
+			return Action{K: c.st.K, CheckEvery: c.st.CheckEvery, Changed: true, Reason: "non_finite"}
+		}
+		return Action{K: c.st.K, CheckEvery: c.st.CheckEvery, Reason: "non_finite"}
+
+	case c.breach(winMax, winN) != "":
+		reason := c.breach(winMax, winN)
+		signal := c.breachSignal(reason, winMax)
+		// Shrink k below the breached value and never allow growth back to
+		// it; same for the cadence. Both caps are monotone non-increasing,
+		// which is the no-oscillation guarantee.
+		if kc := largestDivisorBelow(c.cfg.L, prevK, c.cfg.MinK); kc < c.st.KCap {
+			c.st.KCap = kc
+		}
+		if c.st.K > c.st.KCap {
+			c.st.K = c.st.KCap
+		}
+		if cc := maxInt(c.cfg.MinCheckEvery, prevCheck-1); cc < c.st.CheckEveryCap {
+			c.st.CheckEveryCap = cc
+		}
+		if ce := maxInt(c.cfg.MinCheckEvery, prevCheck/2); ce < c.st.CheckEvery {
+			c.st.CheckEvery = ce
+		}
+		if c.st.CheckEvery > c.st.CheckEveryCap {
+			c.st.CheckEvery = c.st.CheckEveryCap
+		}
+		c.st.StableStreak = 0
+		c.st.CooldownLeft = c.cfg.Cooldown
+		if c.st.K != prevK || c.st.CheckEvery != prevCheck {
+			c.st.Shrinks++
+			c.record(reason, signal)
+			return Action{K: c.st.K, CheckEvery: c.st.CheckEvery, Changed: true, Reason: reason}
+		}
+		// Already at the floor: nothing left to shrink.
+		return Action{K: c.st.K, CheckEvery: c.st.CheckEvery, Reason: reason}
+	}
+
+	if c.st.CooldownLeft > 0 {
+		c.st.CooldownLeft--
+		return Action{K: c.st.K, CheckEvery: c.st.CheckEvery}
+	}
+
+	if !c.stable(winMax, winN) {
+		c.st.StableStreak = 0
+		return Action{K: c.st.K, CheckEvery: c.st.CheckEvery}
+	}
+	c.st.StableStreak++
+	if c.st.StableStreak < c.cfg.Patience {
+		return Action{K: c.st.K, CheckEvery: c.st.CheckEvery}
+	}
+
+	// Grow: stretch k geometrically (largest divisor of L at most 2k) and
+	// double the cadence, both clamped by the hysteresis caps.
+	kTarget := minInt(2*prevK, minInt(c.cfg.MaxK, c.st.KCap))
+	if k := largestDivisorBetween(c.cfg.L, prevK, kTarget); k > prevK {
+		c.st.K = k
+	}
+	if ce := minInt(2*prevCheck, minInt(c.cfg.MaxCheckEvery, c.st.CheckEveryCap)); ce > prevCheck {
+		c.st.CheckEvery = ce
+	}
+	c.st.StableStreak = 0
+	if c.st.K != prevK || c.st.CheckEvery != prevCheck {
+		c.st.Grows++
+		c.st.CooldownLeft = c.cfg.Cooldown
+		c.record("stable_grow", c.lastRes)
+		return Action{K: c.st.K, CheckEvery: c.st.CheckEvery, Changed: true, Reason: "stable_grow"}
+	}
+	return Action{K: c.st.K, CheckEvery: c.st.CheckEvery}
+}
+
+// breach returns the name of the first breached ceiling in severity order
+// (residual, condition, drift), or "" if none. A zero ceiling disables the
+// probe.
+func (c *Controller) breach(winMax [obs.NumProbes]float64, winN [obs.NumProbes]int64) string {
+	if c.cfg.ResidualCeil > 0 && winN[obs.ProbeStratResidual] > 0 && winMax[obs.ProbeStratResidual] > c.cfg.ResidualCeil {
+		return "residual_ceiling"
+	}
+	if c.cfg.CondCeilLog10 > 0 && winN[obs.ProbeUDTCond] > 0 && winMax[obs.ProbeUDTCond] > c.cfg.CondCeilLog10 {
+		return "cond_ceiling"
+	}
+	if c.cfg.DriftCeil > 0 && winN[obs.ProbeWrapDrift] > 0 && winMax[obs.ProbeWrapDrift] > c.cfg.DriftCeil {
+		return "drift_ceiling"
+	}
+	return ""
+}
+
+// breachSignal returns the window value behind a breach reason.
+func (c *Controller) breachSignal(reason string, winMax [obs.NumProbes]float64) float64 {
+	switch reason {
+	case "residual_ceiling":
+		return winMax[obs.ProbeStratResidual]
+	case "cond_ceiling":
+		return winMax[obs.ProbeUDTCond]
+	case "drift_ceiling":
+		return winMax[obs.ProbeWrapDrift]
+	}
+	return 0
+}
+
+// stable reports whether the sweep window qualifies toward the growth
+// streak: at least one sample arrived, every gated probe with samples is
+// under its floor, and the last known residual (sampled sparsely, at
+// cadence frequency) is under the residual floor.
+func (c *Controller) stable(winMax [obs.NumProbes]float64, winN [obs.NumProbes]int64) bool {
+	var total int64
+	for _, n := range winN {
+		total += n
+	}
+	if total == 0 {
+		return false
+	}
+	if c.cfg.DriftFloor > 0 && winN[obs.ProbeWrapDrift] > 0 && winMax[obs.ProbeWrapDrift] > c.cfg.DriftFloor {
+		return false
+	}
+	if c.cfg.CondFloorLog10 > 0 && winN[obs.ProbeUDTCond] > 0 && winMax[obs.ProbeUDTCond] > c.cfg.CondFloorLog10 {
+		return false
+	}
+	if c.cfg.ResidualFloor > 0 && c.resSeen && c.lastRes > c.cfg.ResidualFloor {
+		return false
+	}
+	return true
+}
+
+// record appends to the capped decision log. Caller holds c.mu.
+func (c *Controller) record(reason string, signal float64) {
+	if len(c.decisions) >= c.cfg.MaxDecisions {
+		c.decisionsDropped = true
+		return
+	}
+	if math.IsNaN(signal) || math.IsInf(signal, 0) {
+		signal = 0 // the JSON document must stay marshalable
+	}
+	c.decisions = append(c.decisions, obs.AutopilotDecision{
+		Sweep:      c.st.Sweep,
+		K:          c.st.K,
+		CheckEvery: c.st.CheckEvery,
+		Reason:     reason,
+		Signal:     signal,
+	})
+}
+
+// K returns the current cluster size.
+func (c *Controller) K() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.K
+}
+
+// CheckEvery returns the current stability-check cadence.
+func (c *Controller) CheckEvery() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.CheckEvery
+}
+
+// State snapshots the controller state for checkpointing.
+func (c *Controller) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st
+}
+
+// Restore overwrites the controller state from a checkpoint, clamping the
+// restored k to a divisor of L so a hand-edited checkpoint cannot desync
+// the cluster partition.
+func (c *Controller) Restore(s State) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.K < 1 || c.cfg.L%s.K != 0 {
+		s.K = largestDivisorBetween(c.cfg.L, 0, maxInt(s.K, c.cfg.MinK))
+	}
+	if s.CheckEvery < 1 {
+		s.CheckEvery = c.cfg.MinCheckEvery
+	}
+	if s.KCap < 1 {
+		s.KCap = c.cfg.MaxK
+	}
+	if s.CheckEveryCap < 1 {
+		s.CheckEveryCap = c.cfg.MaxCheckEvery
+	}
+	c.st = s
+	// The resumed run starts from the restored knobs, so the trajectory
+	// document reports them as its initial point.
+	c.initialK = s.K
+	c.initialCheckEvery = s.CheckEvery
+}
+
+// MetricsDoc renders the controller's trajectory for the metrics document.
+func (c *Controller) MetricsDoc() *obs.AutopilotMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := &obs.AutopilotMetrics{
+		Enabled:           true,
+		InitialK:          c.initialK,
+		FinalK:            c.st.K,
+		InitialCheckEvery: c.initialCheckEvery,
+		FinalCheckEvery:   c.st.CheckEvery,
+		Shrinks:           c.st.Shrinks,
+		Grows:             c.st.Grows,
+		KCap:              c.st.KCap,
+		NonFiniteEvents:   c.st.NonFiniteEvents,
+		NonFinite:         c.st.NonFinite,
+	}
+	m.Decisions = append(m.Decisions, c.decisions...)
+	return m
+}
+
+// largestDivisorBelow returns the largest divisor of L that is < k and
+// >= min, or min-clamped smallest divisor if none is (i.e. k is already
+// minimal): the shrink step.
+func largestDivisorBelow(L, k, min int) int {
+	for d := k - 1; d >= min; d-- {
+		if L%d == 0 {
+			return d
+		}
+	}
+	return smallestDivisorAtLeast(L, min)
+}
+
+// largestDivisorBetween returns the largest divisor of L in (lo, hi], or lo
+// if none: the grow step.
+func largestDivisorBetween(L, lo, hi int) int {
+	if hi > L {
+		hi = L
+	}
+	for d := hi; d > lo; d-- {
+		if L%d == 0 {
+			return d
+		}
+	}
+	return lo
+}
+
+// smallestDivisorAtLeast returns the smallest divisor of L that is >= min
+// (L itself in the worst case).
+func smallestDivisorAtLeast(L, min int) int {
+	if min < 1 {
+		min = 1
+	}
+	for d := min; d <= L; d++ {
+		if L%d == 0 {
+			return d
+		}
+	}
+	return L
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

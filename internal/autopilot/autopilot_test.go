@@ -1,0 +1,240 @@
+package autopilot
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"questgo/internal/obs"
+)
+
+// newTest returns a controller with deterministic small-number tuning:
+// L=40, k=10, cadence 2, patience 2, cooldown 1.
+func newTest(t *testing.T) *Controller {
+	t.Helper()
+	c, err := New(Config{
+		L: 40, InitialK: 10, InitialCheckEvery: 2,
+		Patience: 2, Cooldown: 1,
+		MaxK: 20, MaxCheckEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// stableSweep feeds one fully-stable sweep window and evaluates it.
+func stableSweep(c *Controller) Action {
+	c.ObserveStability(obs.ProbeWrapDrift, 1e-12)
+	c.ObserveStability(obs.ProbeStratResidual, 1e-14)
+	c.ObserveStability(obs.ProbeUDTCond, 3)
+	return c.EndSweep()
+}
+
+func TestDefaultsAndValidate(t *testing.T) {
+	if _, err := New(Config{L: 40, InitialK: 10}); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	bad := []Config{
+		{L: 0, InitialK: 1},
+		{L: 40, InitialK: 7},                                        // not a divisor
+		{L: 40, InitialK: 10, MinK: 20},                             // MinK > InitialK
+		{L: 40, InitialK: 10, MaxK: 5},                              // MaxK < InitialK
+		{L: 40, InitialK: 10, DriftCeil: math.NaN()},                // NaN threshold
+		{L: 40, InitialK: 10, ResidualFloor: 1, ResidualCeil: 1e-9}, // floor >= ceil
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestShrinkOnResidualBreach(t *testing.T) {
+	c := newTest(t)
+	c.ObserveStability(obs.ProbeStratResidual, 1e-6) // >> ceiling 1e-9
+	a := c.EndSweep()
+	if !a.Changed || a.Reason != "residual_ceiling" {
+		t.Fatalf("breach not acted on: %+v", a)
+	}
+	if a.K != 8 { // largest divisor of 40 below 10
+		t.Fatalf("shrink k = %d, want 8", a.K)
+	}
+	if a.CheckEvery != 1 {
+		t.Fatalf("shrink cadence = %d, want 1", a.CheckEvery)
+	}
+	st := c.State()
+	if st.KCap != 8 || st.Shrinks != 1 {
+		t.Fatalf("state after shrink: %+v", st)
+	}
+}
+
+func TestGrowthNeedsPatienceAndCooldown(t *testing.T) {
+	c := newTest(t)
+	// Patience=2: the first stable sweep must not grow.
+	if a := stableSweep(c); a.Changed {
+		t.Fatalf("grew after one stable sweep: %+v", a)
+	}
+	a := stableSweep(c)
+	if !a.Changed || a.Reason != "stable_grow" {
+		t.Fatalf("no growth after patience met: %+v", a)
+	}
+	if a.K != 20 { // largest divisor of 40 in (10, 20]
+		t.Fatalf("grow k = %d, want 20", a.K)
+	}
+	if a.CheckEvery != 4 {
+		t.Fatalf("grow cadence = %d, want 4", a.CheckEvery)
+	}
+	// Cooldown=1: the very next stable sweep must not change anything.
+	if a := stableSweep(c); a.Changed {
+		t.Fatalf("changed during cooldown: %+v", a)
+	}
+}
+
+// TestNoOscillation drives the controller through the adversarial pattern
+// hysteresis exists for: k=20 always breaches, k<=10 is always stable. The
+// KCap must pin the controller below the breached k forever instead of
+// bouncing 10 <-> 20.
+func TestNoOscillation(t *testing.T) {
+	c := newTest(t)
+	// Grow to 20 first (patience 2).
+	stableSweep(c)
+	if a := stableSweep(c); a.K != 20 {
+		t.Fatalf("setup grow failed: %+v", a)
+	}
+	// k=20 breaches.
+	c.ObserveStability(obs.ProbeStratResidual, 1e-6)
+	a := c.EndSweep()
+	if a.K >= 20 {
+		t.Fatalf("no shrink after breach: %+v", a)
+	}
+	// Hundreds of stable sweeps later, k must never reach 20 again.
+	maxK := 0
+	for i := 0; i < 300; i++ {
+		a := stableSweep(c)
+		if a.K > maxK {
+			maxK = a.K
+		}
+	}
+	if maxK >= 20 {
+		t.Fatalf("controller re-grew to breached k = %d", maxK)
+	}
+	st := c.State()
+	if st.KCap >= 20 {
+		t.Fatalf("KCap %d not pinned below breached k", st.KCap)
+	}
+}
+
+func TestDivisorSteps(t *testing.T) {
+	cases := []struct{ L, k, min, want int }{
+		{40, 10, 1, 8},
+		{40, 8, 1, 5},
+		{40, 2, 1, 1},
+		{40, 1, 1, 1}, // already minimal: no change
+		{48, 12, 1, 8},
+		{160, 10, 1, 8},
+	}
+	for _, tc := range cases {
+		if got := largestDivisorBelow(tc.L, tc.k, tc.min); got != tc.want {
+			t.Fatalf("largestDivisorBelow(%d,%d,%d) = %d, want %d", tc.L, tc.k, tc.min, got, tc.want)
+		}
+	}
+	growCases := []struct{ L, lo, hi, want int }{
+		{40, 10, 20, 20},
+		{40, 20, 40, 40},
+		{40, 8, 16, 10},
+		{40, 5, 7, 5}, // no divisor in range: stay
+		{160, 8, 16, 16},
+	}
+	for _, tc := range growCases {
+		if got := largestDivisorBetween(tc.L, tc.lo, tc.hi); got != tc.want {
+			t.Fatalf("largestDivisorBetween(%d,%d,%d) = %d, want %d", tc.L, tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestNonFiniteEmergency(t *testing.T) {
+	c := newTest(t)
+	c.ObserveStability(obs.ProbeWrapDrift, math.NaN())
+	a := c.EndSweep()
+	if !a.Changed || a.Reason != "non_finite" {
+		t.Fatalf("NaN sample not treated as emergency: %+v", a)
+	}
+	if a.K != 1 || a.CheckEvery != 1 {
+		t.Fatalf("emergency settings k=%d cadence=%d, want 1/1", a.K, a.CheckEvery)
+	}
+	st := c.State()
+	if !st.NonFinite || st.NonFiniteEvents != 1 || st.KCap != 1 {
+		t.Fatalf("emergency state: %+v", st)
+	}
+	// Frozen: stable sweeps can never grow past the emergency cap.
+	for i := 0; i < 20; i++ {
+		if a := stableSweep(c); a.K != 1 {
+			t.Fatalf("grew after non-finite emergency: %+v", a)
+		}
+	}
+	doc := c.MetricsDoc()
+	if !doc.NonFinite || doc.NonFiniteEvents != 1 {
+		t.Fatalf("metrics doc misses non-finite record: %+v", doc)
+	}
+	if _, err := json.Marshal(doc); err != nil {
+		t.Fatalf("autopilot metrics must marshal: %v", err)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	c := newTest(t)
+	stableSweep(c)
+	stableSweep(c) // grow
+	c.ObserveStability(obs.ProbeStratResidual, 1e-6)
+	c.EndSweep() // shrink
+	st := c.State()
+
+	c2 := newTest(t)
+	c2.Restore(st)
+	if got := c2.State(); got != st {
+		t.Fatalf("state round trip: %+v vs %+v", got, st)
+	}
+	if c2.K() != st.K || c2.CheckEvery() != st.CheckEvery {
+		t.Fatalf("accessors after restore: k=%d cadence=%d", c2.K(), c2.CheckEvery())
+	}
+}
+
+func TestRestoreClampsBadK(t *testing.T) {
+	c := newTest(t)
+	c.Restore(State{K: 7, CheckEvery: 2, KCap: 40, CheckEveryCap: 8}) // 7 does not divide 40
+	if k := c.K(); 40%k != 0 {
+		t.Fatalf("restored k = %d does not divide L", k)
+	}
+}
+
+func TestMetricsDocTrajectory(t *testing.T) {
+	c := newTest(t)
+	stableSweep(c)
+	stableSweep(c) // grow 10 -> 20
+	doc := c.MetricsDoc()
+	if !doc.Enabled || doc.InitialK != 10 || doc.FinalK != 20 || doc.Grows != 1 || doc.Shrinks != 0 {
+		t.Fatalf("trajectory doc: %+v", doc)
+	}
+	if len(doc.Decisions) != 1 || doc.Decisions[0].Reason != "stable_grow" {
+		t.Fatalf("decision log: %+v", doc.Decisions)
+	}
+}
+
+// TestUnstableSweepResetsStreak: a sweep above the growth floor (but below
+// the ceiling) must reset patience, not accumulate toward growth.
+func TestUnstableSweepResetsStreak(t *testing.T) {
+	c := newTest(t)
+	stableSweep(c)
+	c.ObserveStability(obs.ProbeWrapDrift, 5e-4) // above floor 1e-4, below ceil 1e-3
+	if a := c.EndSweep(); a.Changed {
+		t.Fatalf("mid-band sweep changed knobs: %+v", a)
+	}
+	// Streak was reset: one more stable sweep must not be enough.
+	if a := stableSweep(c); a.Changed {
+		t.Fatalf("grew without full patience after reset: %+v", a)
+	}
+	if a := stableSweep(c); !a.Changed {
+		t.Fatalf("expected growth after full patience: %+v", a)
+	}
+}

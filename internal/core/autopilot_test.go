@@ -1,0 +1,256 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+)
+
+func autopilotTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nx, cfg.Ny = 4, 4
+	cfg.U, cfg.Beta, cfg.L = 4, 2, 12
+	cfg.ClusterK = 6
+	cfg.WarmSweeps, cfg.MeasSweeps = 2, 4
+	cfg.Autopilot = true
+	return cfg
+}
+
+// TestAutopilotValidate covers the new Config rules.
+func TestAutopilotValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Autopilot, c.NoStack = true, true },
+		func(c *Config) { c.AutopilotMinK = -1 },
+		func(c *Config) { c.AutopilotMaxK = -2 },
+		func(c *Config) { c.AutopilotMinK, c.AutopilotMaxK = 6, 3 },
+		func(c *Config) { c.AutopilotDriftCeil = -1e-6 },
+		func(c *Config) { c.AutopilotResidualCeil = nan() },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d passed Validate", i)
+		}
+	}
+	good, err := NewConfig(WithAutopilot(true), WithAutopilotBounds(1, 10),
+		WithAutopilotCeilings(250, 1e-5, 1e-8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good.Autopilot || good.AutopilotMinK != 1 || good.AutopilotMaxK != 10 ||
+		good.AutopilotCondCeil != 250 || good.AutopilotDriftCeil != 1e-5 ||
+		good.AutopilotResidualCeil != 1e-8 {
+		t.Fatalf("options not applied: %+v", good)
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+// TestAutopilotRun is the end-to-end smoke test: an autopilot run with the
+// spin-parallel sweeper completes, reports the controller trajectory in the
+// metrics document, and keeps k a divisor of L throughout. Running in the
+// -race suite, this also exercises the listener receiving samples from both
+// spin goroutines concurrently (satellite 5).
+func TestAutopilotRun(t *testing.T) {
+	cfg := autopilotTestConfig()
+	res, err := runOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := res.Metrics.Autopilot
+	if ap == nil || !ap.Enabled {
+		t.Fatal("autopilot run must carry an autopilot metrics document")
+	}
+	if ap.InitialK != 6 {
+		t.Fatalf("initial k = %d, want 6", ap.InitialK)
+	}
+	if ap.FinalK < 1 || cfg.L%ap.FinalK != 0 {
+		t.Fatalf("final k = %d must divide L = %d", ap.FinalK, cfg.L)
+	}
+	if ap.FinalCheckEvery < 1 {
+		t.Fatalf("final check cadence = %d, want >= 1", ap.FinalCheckEvery)
+	}
+	if res.Metrics.Stability.StratResidualSamples == 0 {
+		t.Fatal("autopilot run took no residual samples (controller is blind)")
+	}
+}
+
+// TestAutopilotShrinksOnTightCeiling: an absurdly tight residual ceiling
+// must force the controller off the initial k, and the run must survive the
+// mid-run resizes with finite observables.
+func TestAutopilotShrinksOnTightCeiling(t *testing.T) {
+	cfg := autopilotTestConfig()
+	cfg.WarmSweeps, cfg.MeasSweeps = 4, 4
+	cfg.AutopilotResidualCeil = 1e-300 // every sample breaches
+	res, err := runOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := res.Metrics.Autopilot
+	if ap.Shrinks == 0 || ap.FinalK >= ap.InitialK {
+		t.Fatalf("tight ceiling did not shrink: %+v", ap)
+	}
+	if res.AvgSign == 0 || res.Density != res.Density {
+		t.Fatalf("observables corrupted after resize: sign %v density %v", res.AvgSign, res.Density)
+	}
+}
+
+// TestAutopilotClampedMatchesFixed (satellite 5): an autopilot clamped to a
+// constant k (MinK = MaxK = ClusterK) must be bitwise identical to the plain
+// fixed-k run — the controller may retune the check cadence, but cadence
+// never perturbs the Markov chain, and a clamped k has nowhere to go.
+func TestAutopilotClampedMatchesFixed(t *testing.T) {
+	fixed := autopilotTestConfig()
+	fixed.Autopilot = false
+	fixed.StabilityCheckEvery = 4 // match the autopilot default cadence
+	fref, err := runOnce(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clamped := autopilotTestConfig()
+	clamped.AutopilotMinK, clamped.AutopilotMaxK = clamped.ClusterK, clamped.ClusterK
+	clamped.AutopilotResidualCeil = 1e-300 // force breach decisions every sweep
+	cres, err := runOnce(clamped)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ap := cres.Metrics.Autopilot; ap.FinalK != clamped.ClusterK {
+		t.Fatalf("clamped controller moved k: %+v", ap)
+	}
+	if cres.Density != fref.Density || cres.DoubleOcc != fref.DoubleOcc ||
+		cres.Kinetic != fref.Kinetic || cres.AvgSign != fref.AvgSign ||
+		cres.SAF != fref.SAF {
+		t.Fatalf("clamped autopilot diverged from fixed-k run:\n  fixed:   den=%v docc=%v kin=%v\n  clamped: den=%v docc=%v kin=%v",
+			fref.Density, fref.DoubleOcc, fref.Kinetic, cres.Density, cres.DoubleOcc, cres.Kinetic)
+	}
+}
+
+// TestAutopilotRejectsWalkers: the walker group shares one collector whose
+// single listener cannot serve several controllers.
+func TestAutopilotRejectsWalkers(t *testing.T) {
+	cfg := autopilotTestConfig()
+	cfg.WarmSweeps, cfg.MeasSweeps = 0, 1
+	if _, err := Run(context.Background(), cfg, WithWalkers(2)); err == nil {
+		t.Fatal("autopilot with multiple walkers must be rejected")
+	}
+}
+
+// TestCheckpointConfigFieldCoverage (satellite 3) is the drift guard: every
+// field of Config must survive a gob round trip of the Checkpoint. The test
+// sets each field to a distinctive non-zero value by reflection, so adding
+// a Config field that gob cannot serialize (unexported, or an unsupported
+// kind this switch does not know how to populate) fails here instead of
+// silently resetting on resume.
+func TestCheckpointConfigFieldCoverage(t *testing.T) {
+	var cfg Config
+	v := reflect.ValueOf(&cfg).Elem()
+	tp := v.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		f := tp.Field(i)
+		if !f.IsExported() {
+			t.Fatalf("Config field %q is unexported: gob drops it from checkpoints", f.Name)
+		}
+		fv := v.Field(i)
+		switch f.Type.Kind() {
+		case reflect.Int:
+			fv.SetInt(int64(100 + i))
+		case reflect.Uint64:
+			fv.SetUint(uint64(200 + i))
+		case reflect.Float64:
+			fv.SetFloat(0.5 + float64(i))
+		case reflect.Bool:
+			fv.SetBool(true)
+		default:
+			t.Fatalf("Config field %q has kind %s: teach this test to populate it", f.Name, f.Type.Kind())
+		}
+	}
+
+	ck := &Checkpoint{Config: cfg, Sign: 1}
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Config, cfg) {
+		t.Fatalf("Config did not round-trip through a checkpoint:\n  sent: %+v\n  got:  %+v", cfg, back.Config)
+	}
+}
+
+// TestResumeKeepsAdaptedK: a checkpoint carrying autopilot state must resume
+// with the adapted cluster size and cadence, not the config's originals.
+func TestResumeKeepsAdaptedK(t *testing.T) {
+	cfg := autopilotTestConfig()
+	cfg.WarmSweeps, cfg.MeasSweeps = 2, 1
+	cfg.AutopilotResidualCeil = 1e-300 // guarantee the controller adapts
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	ck := sim.Checkpoint()
+	if ck.Autopilot == nil {
+		t.Fatal("autopilot run must checkpoint the controller state")
+	}
+	if ck.Autopilot.K >= cfg.ClusterK {
+		t.Fatalf("controller did not adapt before checkpoint: k = %d", ck.Autopilot.K)
+	}
+
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2, err := Resume(ck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim2.ClusterK(); got != ck.Autopilot.K {
+		t.Fatalf("resumed sweeper k = %d, want the adapted %d", got, ck.Autopilot.K)
+	}
+	st := sim2.pilot.State()
+	if st.K != ck.Autopilot.K || st.KCap != ck.Autopilot.KCap ||
+		st.CheckEvery != ck.Autopilot.CheckEvery || st.Shrinks != ck.Autopilot.Shrinks {
+		t.Fatalf("controller state not restored:\n  saved:    %+v\n  restored: %+v", *ck.Autopilot, st)
+	}
+	// The resumed chain must keep running under the restored controller.
+	sim2.cfg.WarmSweeps, sim2.cfg.MeasSweeps = 0, 2
+	res := sim2.Run()
+	if res.Metrics.Autopilot == nil || res.Metrics.Autopilot.InitialK != ck.Autopilot.K {
+		t.Fatalf("resumed metrics lost the adapted k: %+v", res.Metrics.Autopilot)
+	}
+}
+
+// TestResumeWithoutAutopilotState: a pre-autopilot checkpoint (nil state)
+// resumes an autopilot config from the config's own k — no crash, fresh
+// controller.
+func TestResumeWithoutAutopilotState(t *testing.T) {
+	cfg := autopilotTestConfig()
+	cfg.WarmSweeps, cfg.MeasSweeps = 1, 1
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	ck := sim.Checkpoint()
+	ck.Autopilot = nil
+	sim2, err := Resume(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim2.ClusterK(); got != cfg.ClusterK {
+		t.Fatalf("resumed k = %d, want config's %d", got, cfg.ClusterK)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"questgo/internal/autopilot"
 	"questgo/internal/update"
 )
 
@@ -20,6 +21,10 @@ type Checkpoint struct {
 	FieldH   [][]float64
 	RngState [4]uint64
 	Sign     float64
+	// Autopilot is the controller state when Config.Autopilot is on (nil
+	// otherwise): the resumed run continues with the adapted cluster size and
+	// check cadence instead of restarting the adaptation from the config.
+	Autopilot *autopilot.State
 }
 
 // Checkpoint snapshots the current chain state. Call it between sweeps
@@ -33,6 +38,10 @@ func (s *Simulation) Checkpoint() *Checkpoint {
 	}
 	for i, row := range s.field.H {
 		c.FieldH[i] = append([]float64(nil), row...)
+	}
+	if s.pilot != nil {
+		st := s.pilot.State()
+		c.Autopilot = &st
 	}
 	return c
 }
@@ -110,16 +119,28 @@ func Resume(c *Checkpoint) (*Simulation, error) {
 	sim.rng.Restore(c.RngState)
 	// Rebuild the sweeper state (clusters + Green's functions) from the
 	// restored field, and restore the tracked sign. The collector is reused
-	// and re-baselined so the resumed run's metrics start clean.
+	// and re-baselined so the resumed run's metrics start clean. A restored
+	// autopilot overrides the config's k and cadence with the adapted values
+	// so the resumed chain continues where the controller left off.
+	clusterK := c.Config.ClusterK
+	stabEvery := c.Config.StabilityCheckEvery
+	if c.Config.Autopilot && stabEvery == 0 {
+		stabEvery = 4 // same blind-controller default as newWithCollector
+	}
+	if c.Autopilot != nil && sim.pilot != nil {
+		sim.pilot.Restore(*c.Autopilot)
+		clusterK = sim.pilot.K()
+		stabEvery = sim.pilot.CheckEvery()
+	}
 	sim.col.Reset()
 	sim.sweeper = update.NewSweeper(sim.prop, sim.field, sim.rng, update.Options{
-		ClusterK:       c.Config.ClusterK,
+		ClusterK:       clusterK,
 		Delay:          c.Config.Delay,
 		PrePivot:       c.Config.PrePivot,
 		NoStack:        c.Config.NoStack,
 		SerialSpins:    c.Config.SerialSpins,
 		Obs:            sim.col,
-		StabilityEvery: c.Config.StabilityCheckEvery,
+		StabilityEvery: stabEvery,
 	})
 	sim.sweeper.SetSign(c.Sign)
 	return sim, nil

@@ -115,3 +115,27 @@ func WithStabilityCheck(k int) ConfigOption {
 func WithSeed(seed uint64) ConfigOption {
 	return func(c *Config) { c.Seed = seed }
 }
+
+// WithAutopilot toggles the stability feedback controller: live drift,
+// residual and condition telemetry adapt ClusterK and the stability-check
+// cadence between sweeps (see internal/autopilot).
+func WithAutopilot(on bool) ConfigOption {
+	return func(c *Config) { c.Autopilot = on }
+}
+
+// WithAutopilotBounds bounds the autopilot's adapted cluster size to
+// [minK, maxK] (0 keeps the controller default for that bound).
+func WithAutopilotBounds(minK, maxK int) ConfigOption {
+	return func(c *Config) { c.AutopilotMinK, c.AutopilotMaxK = minK, maxK }
+}
+
+// WithAutopilotCeilings sets the autopilot shrink thresholds: the log10 UDT
+// condition ceiling, the wrap-drift ceiling and the strat-residual ceiling
+// (0 keeps the controller default for that threshold).
+func WithAutopilotCeilings(condLog10, drift, residual float64) ConfigOption {
+	return func(c *Config) {
+		c.AutopilotCondCeil = condLog10
+		c.AutopilotDriftCeil = drift
+		c.AutopilotResidualCeil = residual
+	}
+}

@@ -53,6 +53,11 @@ func Run(ctx context.Context, cfg Config, options ...RunOption) (*Results, error
 	if ro.walkers > 1 && ro.checkpointPath != "" {
 		return nil, fmt.Errorf("core: checkpoint-on-cancel supports a single walker, not %d", ro.walkers)
 	}
+	if ro.walkers > 1 && cfg.Autopilot {
+		// Walkers share one collector, so its single stability listener cannot
+		// route samples to per-walker controllers.
+		return nil, fmt.Errorf("core: autopilot supports a single walker, not %d", ro.walkers)
+	}
 	if ro.walkers <= 1 {
 		sim, err := New(cfg)
 		if err != nil {

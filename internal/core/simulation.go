@@ -10,6 +10,7 @@ import (
 	"math"
 	"time"
 
+	"questgo/internal/autopilot"
 	"questgo/internal/hubbard"
 	"questgo/internal/lattice"
 	"questgo/internal/measure"
@@ -70,6 +71,24 @@ type Config struct {
 	// 0 disables it.
 	StabilityCheckEvery int
 
+	// Autopilot enables the stability feedback controller
+	// (internal/autopilot): the run's live telemetry — wrap drift, strat
+	// residual, UDT condition — adapts ClusterK and StabilityCheckEvery
+	// between sweeps instead of holding the hand-tuned values. Requires the
+	// stratification stack (incompatible with NoStack) and a single walker.
+	// When on and StabilityCheckEvery is 0, the cadence starts at 4.
+	Autopilot bool
+	// AutopilotMinK / AutopilotMaxK bound the adapted cluster size
+	// (0 = controller defaults: 1 and the configured ClusterK).
+	AutopilotMinK int
+	AutopilotMaxK int
+	// AutopilotCondCeil (log10), AutopilotDriftCeil and
+	// AutopilotResidualCeil are the shrink thresholds (0 = controller
+	// defaults: 280, 1e-3, 1e-9).
+	AutopilotCondCeil     float64
+	AutopilotDriftCeil    float64
+	AutopilotResidualCeil float64
+
 	Seed uint64
 }
 
@@ -109,6 +128,17 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: delay block size must be >= 0 (0 = default), got %d", c.Delay)
 	case c.StabilityCheckEvery < 0:
 		return fmt.Errorf("core: stability check cadence must be >= 0 (0 = off), got %d", c.StabilityCheckEvery)
+	case c.Autopilot && c.NoStack:
+		return fmt.Errorf("core: autopilot needs the stratification stack (NoStack must be false)")
+	case c.AutopilotMinK < 0 || c.AutopilotMaxK < 0:
+		return fmt.Errorf("core: autopilot k bounds must be >= 0 (0 = default), got min %d max %d", c.AutopilotMinK, c.AutopilotMaxK)
+	case c.AutopilotMinK > 0 && c.AutopilotMaxK > 0 && c.AutopilotMinK > c.AutopilotMaxK:
+		return fmt.Errorf("core: autopilot min k %d exceeds max k %d", c.AutopilotMinK, c.AutopilotMaxK)
+	case math.IsNaN(c.AutopilotCondCeil) || c.AutopilotCondCeil < 0 ||
+		math.IsNaN(c.AutopilotDriftCeil) || c.AutopilotDriftCeil < 0 ||
+		math.IsNaN(c.AutopilotResidualCeil) || c.AutopilotResidualCeil < 0:
+		return fmt.Errorf("core: autopilot ceilings must be >= 0 and not NaN (cond %v drift %v residual %v)",
+			c.AutopilotCondCeil, c.AutopilotDriftCeil, c.AutopilotResidualCeil)
 	}
 	return nil
 }
@@ -162,6 +192,7 @@ type Simulation struct {
 	rng     *rng.Rand
 	sweeper *update.Sweeper
 	col     *obs.Collector
+	pilot   *autopilot.Controller // nil unless cfg.Autopilot
 }
 
 // New builds the lattice, propagators and initial field for the
@@ -196,6 +227,10 @@ func newWithCollector(cfg Config, col *obs.Collector) (*Simulation, error) {
 	prop := hubbard.NewPropagator(model)
 	r := rng.New(cfg.Seed)
 	field := hubbard.NewRandomField(cfg.L, model.N(), r)
+	stabEvery := cfg.StabilityCheckEvery
+	if cfg.Autopilot && stabEvery == 0 {
+		stabEvery = 4 // the controller is blind without residual samples
+	}
 	sw := update.NewSweeper(prop, field, r, update.Options{
 		ClusterK:       cfg.ClusterK,
 		Delay:          cfg.Delay,
@@ -203,9 +238,27 @@ func newWithCollector(cfg Config, col *obs.Collector) (*Simulation, error) {
 		NoStack:        cfg.NoStack,
 		SerialSpins:    cfg.SerialSpins,
 		Obs:            col,
-		StabilityEvery: cfg.StabilityCheckEvery,
+		StabilityEvery: stabEvery,
 	})
-	return &Simulation{cfg: cfg, lat: lat, model: model, prop: prop, field: field, rng: r, sweeper: sw, col: col}, nil
+	sim := &Simulation{cfg: cfg, lat: lat, model: model, prop: prop, field: field, rng: r, sweeper: sw, col: col}
+	if cfg.Autopilot {
+		pilot, err := autopilot.New(autopilot.Config{
+			L:                 cfg.L,
+			InitialK:          sw.ClusterK(), // sweeper has already snapped k to a divisor of L
+			InitialCheckEvery: stabEvery,
+			MinK:              cfg.AutopilotMinK,
+			MaxK:              cfg.AutopilotMaxK,
+			CondCeilLog10:     cfg.AutopilotCondCeil,
+			DriftCeil:         cfg.AutopilotDriftCeil,
+			ResidualCeil:      cfg.AutopilotResidualCeil,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: autopilot: %w", err)
+		}
+		sim.pilot = pilot
+		col.SetStabilityListener(pilot)
+	}
+	return sim, nil
 }
 
 // Model exposes the underlying Hubbard model (read-only use).
@@ -222,6 +275,26 @@ func (s *Simulation) Profile() *profile.Profile {
 
 // Collector exposes the run's metrics collector.
 func (s *Simulation) Collector() *obs.Collector { return s.col }
+
+// ClusterK reports the sweeper's current cluster size — the configured value
+// snapped to a divisor of L, further adapted by the autopilot when enabled.
+func (s *Simulation) ClusterK() int { return s.sweeper.ClusterK() }
+
+// autopilotStep closes the control loop after a sweep: the controller folds
+// the sweep's stability window into a decision, and any change is applied to
+// the sweeper before the next sweep begins (the Green's function at boundary
+// 0 is independent of the clustering, so a resize is exact there).
+func (s *Simulation) autopilotStep() {
+	if s.pilot == nil {
+		return
+	}
+	a := s.pilot.EndSweep()
+	if !a.Changed {
+		return
+	}
+	s.sweeper.SetClusterK(a.K)
+	s.sweeper.SetStabilityEvery(a.CheckEvery)
+}
 
 // Progress reports a running simulation's position; see RunProgress. Each
 // report carries a live snapshot of the phase-timing breakdown, so callers
@@ -279,6 +352,7 @@ func (s *Simulation) runBody(ctx context.Context, cb func(Progress)) (*Results, 
 			return nil, err
 		}
 		s.sweeper.Sweep()
+		s.autopilotStep()
 		s.report(cb, "warmup", w+1, s.cfg.WarmSweeps)
 	}
 
@@ -310,6 +384,7 @@ func (s *Simulation) runBody(ctx context.Context, cb func(Progress)) (*Results, 
 		}
 		collected = collected[:0]
 		s.sweeper.Sweep()
+		s.autopilotStep()
 		if len(collected) == 0 {
 			takeMeasurement()
 		}
@@ -412,6 +487,9 @@ func (s *Simulation) runBody(ctx context.Context, cb func(Progress)) (*Results, 
 	s.col.End(obs.PhaseMeasure, fstart)
 	s.col.Finish()
 	res.Metrics = s.col.Metrics()
+	if s.pilot != nil {
+		res.Metrics.Autopilot = s.pilot.MetricsDoc()
+	}
 	res.Prof = profile.FromPhases(s.col.PhaseDurations())
 	return res, nil
 }

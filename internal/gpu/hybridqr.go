@@ -168,7 +168,7 @@ func StratifyHybrid(dev *Device, chain []*mat.Dense) *greens.UDT {
 	qHost := mat.New(n, n)
 	qrp.FormQ(qHost)
 	qrp.Release()
-	lapack.PutPivot(jpvt)
+	lapack.PutPivot(&jpvt)
 
 	dq := dev.Malloc(n, n)
 	dev.SetMatrix(dq, qHost)

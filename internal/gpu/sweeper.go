@@ -335,6 +335,41 @@ func (sw *Sweeper) AcceptanceRate() float64 {
 // Device exposes the underlying simulated device for its counters.
 func (sw *Sweeper) Device() *Device { return sw.dev }
 
+// ClusterK returns the clustering size in use.
+func (sw *Sweeper) ClusterK() int { return sw.clusterK }
+
+// SetClusterK switches the hybrid sweeper to cluster size k between sweeps
+// (the autopilot's actuator, mirroring update.Sweeper.SetClusterK): k snaps
+// to the nearest divisor of L at or below the request, the device cluster
+// sets are rebuilt on each spin's existing accelerator, and the
+// stratification stacks are retargeted. The Green's functions sit at
+// boundary 0 between sweeps and are independent of the clustering, so they
+// are left untouched. Returns the k actually installed.
+func (sw *Sweeper) SetClusterK(k int) int {
+	if k < 1 {
+		k = 1
+	}
+	for sw.Prop.Model.L%k != 0 {
+		k--
+	}
+	if k == sw.clusterK {
+		return k
+	}
+	sw.clusterK = k
+	cstart := sw.o.Begin()
+	sw.up.cs = NewClusterSet(sw.up.acc, sw.Field, hubbard.Up, k)
+	sw.dn.cs = NewClusterSet(sw.dn.acc, sw.Field, hubbard.Down, k)
+	sw.o.End(obs.PhaseCluster, cstart)
+	if sw.up.st != nil {
+		sstart := sw.o.Begin()
+		sw.up.st.Retarget(sw.up.cs)
+		sw.dn.st.Retarget(sw.dn.cs)
+		sw.o.End(obs.PhaseRefresh, sstart)
+	}
+	sw.boundary = 0
+	return k
+}
+
 // Greens consistency check against the CPU evaluation — used by tests.
 func (sw *Sweeper) freshCPU(sigma hubbard.Spin) *mat.Dense {
 	cs := greens.NewClusterSet(sw.Prop, sw.Field, sigma, sw.clusterK)

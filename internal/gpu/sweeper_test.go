@@ -37,6 +37,33 @@ func TestHybridSweeperGreenConsistency(t *testing.T) {
 	}
 }
 
+// TestHybridSweeperSetClusterK resizes the hybrid sweeper's k between
+// sweeps and checks the incrementally maintained G still matches a fresh
+// CPU evaluation of the final field.
+func TestHybridSweeperSetClusterK(t *testing.T) {
+	p, f := testSetup(t, 3, 3, 4, 2, 12, 57)
+	dev := NewDevice(TeslaC2050())
+	sw := NewSweeper(dev, p, f, rng.New(13), SweeperOptions{ClusterK: 4, Delay: 3})
+	sw.Sweep()
+	for _, k := range []int{2, 6, 3} {
+		if got := sw.SetClusterK(k); got != k {
+			t.Fatalf("SetClusterK(%d) = %d on L=12", k, got)
+		}
+		if sw.ClusterK() != k {
+			t.Fatalf("ClusterK() = %d, want %d", sw.ClusterK(), k)
+		}
+		sw.Sweep()
+		fresh := sw.freshCPU(hubbard.Up)
+		if d := mat.RelDiff(sw.GreenUp(), fresh); d > 1e-8 {
+			t.Fatalf("k=%d: hybrid G drifted after resize: %g", k, d)
+		}
+	}
+	// 5 does not divide 12: snap down to 4.
+	if got := sw.SetClusterK(5); got != 4 {
+		t.Fatalf("SetClusterK(5) = %d on L=12, want 4", got)
+	}
+}
+
 func TestHybridSweeperPhysicsAgreesWithCPU(t *testing.T) {
 	// Same model, independent chains: observables must agree within
 	// combined statistical errors.

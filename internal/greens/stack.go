@@ -1,6 +1,7 @@
 package greens
 
 import (
+	"fmt"
 	"math"
 
 	"questgo/internal/blas"
@@ -90,6 +91,29 @@ func NewStratStack(src ClusterSource, prePivot bool) *StratStack {
 // Filled returns how many clusters the prefix currently covers; the next
 // GreenInto evaluates boundary Filled (mod NC).
 func (st *StratStack) Filled() int { return st.filled }
+
+// Retarget re-sources the stack onto src — a cluster set with a different
+// cluster count NC (a different k over the same L) but the same matrix
+// dimension — resizing the suffix snapshots and rebuilding them from src's
+// current clusters. This is the resize path of the stability autopilot:
+// call it only between sweeps (the prefix is discarded). The attached Obs
+// collector is kept.
+func (st *StratStack) Retarget(src ClusterSource) {
+	n := src.Cluster(0).Rows
+	if n != st.n {
+		panic(fmt.Sprintf("greens: StratStack.Retarget dimension change %d -> %d", st.n, n))
+	}
+	nc := src.Clusters()
+	st.src = src
+	if nc != st.nc {
+		st.nc = nc
+		st.suf = make([]UDT, nc)
+		for j := 1; j < nc; j++ {
+			st.suf[j] = UDT{Q: mat.New(n, n), D: make([]float64, n), T: mat.New(n, n)}
+		}
+	}
+	st.Rebuild()
+}
 
 // Rebuild recomputes every suffix snapshot from the source's current
 // clusters and resets the prefix. Called automatically when a sweep's
@@ -238,7 +262,7 @@ func (st *StratStack) combineInto(dst *mat.Dense, c int) {
 	if st.prePivot {
 		putPerm(perm)
 	} else {
-		lapack.PutPivot(perm)
+		lapack.PutPivot(&perm)
 	}
 
 	// Q_new = Q1 * q, T_new = that * Qs^T.

@@ -109,6 +109,40 @@ func TestStratStackStepCount(t *testing.T) {
 	}
 }
 
+// TestStratStackRetarget resizes a stack onto cluster sets of a different k
+// (the autopilot path) and checks every boundary of the retargeted stack
+// against a full-chain rebuild, in both resize directions.
+func TestStratStackRetarget(t *testing.T) {
+	p, f, cs := stackSetup(t, 3, 3, 4, 2, 12, 4, 53)
+	st := NewStratStack(cs, true)
+	n := cs.Cluster(0).Rows
+	got, want := mat.New(n, n), mat.New(n, n)
+	r := rng.New(19)
+
+	// Advance partway so Retarget must discard a nontrivial prefix.
+	mutateCluster(f, 0, cs.K, r)
+	cs.Recompute(f, 0)
+	st.Advance()
+
+	for _, k := range []int{2, 6, 3} {
+		cs = NewClusterSet(p, f, hubbard.Up, k)
+		st.Retarget(cs)
+		if st.Filled() != 0 {
+			t.Fatalf("k=%d: Retarget left filled=%d, want 0", k, st.Filled())
+		}
+		for c := 0; c < cs.NC; c++ {
+			mutateCluster(f, c, cs.K, r)
+			cs.Recompute(f, c)
+			st.Advance()
+			st.GreenInto(got)
+			cs.GreenAtInto(want, (c+1)%cs.NC, true)
+			if d := mat.RelDiff(got, want); d > 1e-12 {
+				t.Fatalf("k=%d boundary %d: retargeted stack vs rebuild rel diff %g", k, c, d)
+			}
+		}
+	}
+}
+
 // TestStratStackAutoRebuild checks that the stack survives wrap-around: the
 // suffix decompositions are rebuilt when the prefix completes, so a second
 // sweep sees suffixes of the *current* clusters.

@@ -166,7 +166,7 @@ func initUDT(u *UDT, b *mat.Dense, work, r *mat.Dense) {
 	}
 	qr.FormQ(u.Q)
 	qr.Release()
-	lapack.PutPivot(jpvt)
+	lapack.PutPivot(&jpvt)
 	obs.Add(obs.OpUDTSteps, 1)
 }
 
@@ -205,7 +205,7 @@ func extendUDT(u *UDT, b *mat.Dense, pivotEveryStep bool, work, r, tNew *mat.Den
 	qr.FormQ(u.Q)
 	qr.Release()
 	if pivotEveryStep {
-		lapack.PutPivot(perm)
+		lapack.PutPivot(&perm)
 	} else {
 		putPerm(perm)
 	}

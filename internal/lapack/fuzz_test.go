@@ -191,7 +191,7 @@ func FuzzQRPBlockedVsLevel2(f *testing.F) {
 		}
 		qrB.Release()
 		qrL.Release()
-		PutPivot(jpvtB)
-		PutPivot(jpvtL)
+		PutPivot(&jpvtB)
+		PutPivot(&jpvtL)
 	})
 }

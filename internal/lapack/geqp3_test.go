@@ -69,8 +69,8 @@ func checkBlockedVsLevel2(t *testing.T, orig *mat.Dense, tol float64) {
 	}
 	qrB.Release()
 	qrL.Release()
-	PutPivot(jpvtB)
-	PutPivot(jpvtL)
+	PutPivot(&jpvtB)
+	PutPivot(&jpvtL)
 }
 
 // TestQRPBlockedVsLevel2Graded drives both paths over strongly graded
@@ -100,8 +100,8 @@ func TestQRPBlockedVsLevel2Graded(t *testing.T) {
 			}
 			qrB.Release()
 			qrL.Release()
-			PutPivot(jpvtB)
-			PutPivot(jpvtL)
+			PutPivot(&jpvtB)
+			PutPivot(&jpvtL)
 		}
 		checkBlockedVsLevel2(t, a, 1e-12)
 	}
@@ -171,5 +171,5 @@ func TestQRPBlockedVsLevel2Rectangular(t *testing.T) {
 		t.Fatalf("view: blocked QRP residual %.3e", res)
 	}
 	qr.Release()
-	PutPivot(jpvt)
+	PutPivot(&jpvt)
 }

@@ -23,21 +23,30 @@ var tauPool sync.Pool
 // factorization, so stale pool contents are never observed.
 func getTau(k int) []float64 {
 	if v, ok := tauPool.Get().(*[]float64); ok && cap(*v) >= k {
-		return (*v)[:k]
+		t := (*v)[:k]
+		debugTrackTauGet(t)
+		return t
 	}
-	return make([]float64, k)
+	t := make([]float64, k)
+	debugTrackTauGet(t)
+	return t
 }
 
 // Release returns the factorization's tau buffer to the package pool and
 // clears the reference. Call it only when the QR is dead: after Release the
 // receiver must not be used for R/RInto/MulQ/FormQ. The factored matrix A
 // belongs to the caller and is untouched. Safe on a nil receiver and
-// idempotent, so defensive double-releases are harmless.
+// idempotent through the nil-out, so defensive double-releases on the same
+// receiver are harmless; a double release through *aliased copies* of the
+// QR value would pool the same backing array twice (two later
+// factorizations would share storage) and is caught by the qmcdebug
+// bookkeeping.
 func (qr *QR) Release() {
 	if qr == nil || cap(qr.Tau) == 0 {
 		return
 	}
 	t := qr.Tau
+	debugTrackTauPut(t)
 	tauPool.Put(&t)
 	qr.Tau = nil
 }
@@ -49,17 +58,28 @@ var pivotPool sync.Pool
 // one is large enough. QRPFactor initializes every entry.
 func getPivot(n int) []int {
 	if v, ok := pivotPool.Get().(*[]int); ok && cap(*v) >= n {
-		return (*v)[:n]
+		p := (*v)[:n]
+		debugTrackPivotGet(p)
+		return p
 	}
-	return make([]int, n)
+	p := make([]int, n)
+	debugTrackPivotGet(p)
+	return p
 }
 
 // PutPivot returns a permutation vector obtained from QRPFactor (or
-// QRPFactorLevel2) to the package pool. The caller must not use the slice
-// afterwards.
-func PutPivot(p []int) {
-	if cap(p) == 0 {
+// QRPFactorLevel2) to the package pool and nils the caller's slice, making
+// a second PutPivot through the same variable a no-op. (The previous
+// by-value signature made double puts silent: the same backing array
+// entered the pool twice and two later factorizations aliased it.) A
+// double put through a surviving alias is caught by the qmcdebug
+// bookkeeping.
+func PutPivot(p *[]int) {
+	if p == nil || cap(*p) == 0 {
 		return
 	}
-	pivotPool.Put(&p)
+	s := *p
+	debugTrackPivotPut(s)
+	pivotPool.Put(&s)
+	*p = nil
 }

@@ -1,0 +1,15 @@
+//go:build !qmcdebug
+
+package lapack
+
+// DebugPool reports whether factorization-pool double-put bookkeeping is
+// compiled in (qmcdebug builds only).
+const DebugPool = false
+
+func debugTrackTauGet(t []float64) {}
+
+func debugTrackTauPut(t []float64) {}
+
+func debugTrackPivotGet(p []int) {}
+
+func debugTrackPivotPut(p []int) {}

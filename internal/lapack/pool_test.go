@@ -1,0 +1,64 @@
+package lapack
+
+import (
+	"testing"
+
+	"questgo/internal/mat"
+	"questgo/internal/rng"
+)
+
+func testMatrix(rows, cols int, seed uint64) *mat.Dense {
+	return randomDense(rng.New(seed), rows, cols)
+}
+
+// TestReleaseIdempotent: a second Release on the same QR must be a no-op
+// (the tau reference is nilled on the first), so defensive double-releases
+// never pool the same backing array twice.
+func TestReleaseIdempotent(t *testing.T) {
+	m := testMatrix(8, 8, 3)
+	qr := QRFactor(m)
+	if cap(qr.Tau) == 0 {
+		t.Fatal("factorization has no tau buffer")
+	}
+	qr.Release()
+	if qr.Tau != nil {
+		t.Fatal("Release did not nil the tau reference")
+	}
+	qr.Release() // must be a no-op, not a second pool insert
+	// Two subsequent factorizations must not alias: if the double release
+	// had pooled the buffer twice, these would share tau storage.
+	qr1 := QRFactor(testMatrix(8, 8, 5))
+	qr2 := QRFactor(testMatrix(8, 8, 7))
+	if len(qr1.Tau) > 0 && len(qr2.Tau) > 0 && &qr1.Tau[0] == &qr2.Tau[0] {
+		t.Fatal("two live factorizations share a tau buffer after double release")
+	}
+	qr1.Release()
+	qr2.Release()
+}
+
+// TestPutPivotIdempotent: PutPivot nils the caller's slice, so a second put
+// through the same variable is a no-op and two later factorizations can
+// never be handed the same pivot storage.
+func TestPutPivotIdempotent(t *testing.T) {
+	qr, perm := QRPFactor(testMatrix(8, 8, 11))
+	qr.Release()
+	if len(perm) == 0 {
+		t.Fatal("QRPFactor returned no pivot")
+	}
+	PutPivot(&perm)
+	if perm != nil {
+		t.Fatal("PutPivot did not nil the caller's slice")
+	}
+	PutPivot(&perm) // second put through the same variable: no-op
+	PutPivot(nil)   // nil pointer: no-op
+
+	qr1, p1 := QRPFactor(testMatrix(8, 8, 13))
+	qr2, p2 := QRPFactor(testMatrix(8, 8, 17))
+	if len(p1) > 0 && len(p2) > 0 && &p1[0] == &p2[0] {
+		t.Fatal("two live factorizations share a pivot buffer after double put")
+	}
+	qr1.Release()
+	qr2.Release()
+	PutPivot(&p1)
+	PutPivot(&p2)
+}

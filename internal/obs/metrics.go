@@ -23,6 +23,12 @@ type Metrics struct {
 	GemmGFlops float64 `json:"gemm_gflops"`
 
 	Stability StabilityMetrics `json:"stability"`
+
+	// Autopilot records the stability controller's decisions when the run
+	// had one attached (nil otherwise — the field is owned by
+	// internal/autopilot and only carried here so it rides the same
+	// document).
+	Autopilot *AutopilotMetrics `json:"autopilot,omitempty"`
 }
 
 // OpMetrics holds the op-counter deltas of a run.
@@ -61,7 +67,11 @@ func fromCounts(d OpCounts) OpMetrics {
 
 // StabilityMetrics summarizes the sampled numerical diagnostics. Zero
 // sample counts mean the corresponding probe never ran (e.g. the
-// stratification residual check is off by default).
+// stratification residual check is off by default); with zero samples the
+// max and mean fields are exactly 0, never NaN, so the document always
+// marshals. Max/mean/samples cover finite samples only — non-finite
+// readings (NaN, ±Inf) are reported through the NonFinite* counts and the
+// sticky NonFiniteSeen flag instead of silently vanishing from the maxima.
 type StabilityMetrics struct {
 	// MaxWrapDrift is the largest relative difference between a wrapped
 	// Green's function and its stratified recomputation — the diagnostic
@@ -79,6 +89,71 @@ type StabilityMetrics struct {
 	MaxUDTCondLog10  float64 `json:"max_udt_cond_log10"`
 	MeanUDTCondLog10 float64 `json:"mean_udt_cond_log10"`
 	UDTCondSamples   int64   `json:"udt_cond_samples"`
+	// NonFinite* count NaN/±Inf samples per probe; NonFiniteSeen is true if
+	// any probe ever produced one. A run with NonFiniteSeen set blew up
+	// numerically no matter what the finite aggregates say.
+	NonFiniteWrapDrift     int64 `json:"non_finite_wrap_drift,omitempty"`
+	NonFiniteStratResidual int64 `json:"non_finite_strat_residual,omitempty"`
+	NonFiniteUDTCond       int64 `json:"non_finite_udt_cond,omitempty"`
+	NonFiniteSeen          bool  `json:"non_finite_seen,omitempty"`
+}
+
+// metrics maps the internal per-probe aggregates onto the named document
+// fields, guarding every mean against zero samples.
+func (s stability) metrics() StabilityMetrics {
+	m := StabilityMetrics{
+		MaxWrapDrift:           s.max[ProbeWrapDrift],
+		WrapDriftSamples:       s.n[ProbeWrapDrift],
+		MaxStratResidual:       s.max[ProbeStratResidual],
+		StratResidualSamples:   s.n[ProbeStratResidual],
+		MaxUDTCondLog10:        s.max[ProbeUDTCond],
+		UDTCondSamples:         s.n[ProbeUDTCond],
+		NonFiniteWrapDrift:     s.nonFinite[ProbeWrapDrift],
+		NonFiniteStratResidual: s.nonFinite[ProbeStratResidual],
+		NonFiniteUDTCond:       s.nonFinite[ProbeUDTCond],
+		NonFiniteSeen:          s.nonFiniteSeen,
+	}
+	if n := s.n[ProbeStratResidual]; n > 0 {
+		m.MeanStratResidual = s.sum[ProbeStratResidual] / float64(n)
+	}
+	if n := s.n[ProbeUDTCond]; n > 0 {
+		m.MeanUDTCondLog10 = s.sum[ProbeUDTCond] / float64(n)
+	}
+	return m
+}
+
+// AutopilotMetrics is the stability controller's section of the metrics
+// document: where the run ended up, how it got there, and whether the
+// controller ever had to slam the brakes. The types live here (not in
+// internal/autopilot) because autopilot imports obs for the sample stream.
+type AutopilotMetrics struct {
+	Enabled bool `json:"enabled"`
+	// InitialK/FinalK and InitialCheckEvery/FinalCheckEvery bracket the
+	// controller's trajectory; Shrinks/Grows count the moves between them.
+	InitialK          int `json:"initial_k"`
+	FinalK            int `json:"final_k"`
+	InitialCheckEvery int `json:"initial_check_every"`
+	FinalCheckEvery   int `json:"final_check_every"`
+	Shrinks           int `json:"shrinks"`
+	Grows             int `json:"grows"`
+	// KCap is the hysteresis ceiling: once a k breaches a stability
+	// ceiling the controller never grows back past it.
+	KCap int `json:"k_cap"`
+	// NonFiniteEvents counts emergency shrinks triggered by NaN/Inf
+	// samples; NonFinite is the matching sticky flag.
+	NonFiniteEvents int  `json:"non_finite_events,omitempty"`
+	NonFinite       bool `json:"non_finite,omitempty"`
+	// Decisions is the (capped) change log, one entry per accepted move.
+	Decisions []AutopilotDecision `json:"decisions,omitempty"`
+}
+
+// AutopilotDecision records one accepted controller move.
+type AutopilotDecision struct {
+	Sweep      int     `json:"sweep"`
+	K          int     `json:"k"`
+	CheckEvery int     `json:"check_every"`
+	Reason     string  `json:"reason"`
+	Signal     float64 `json:"signal"`
 }
 
 // Metrics builds the exportable document from the collector's current
@@ -116,19 +191,6 @@ func (c *Collector) Metrics() *Metrics {
 	c.mu.Lock()
 	s := c.stab
 	c.mu.Unlock()
-	m.Stability = StabilityMetrics{
-		MaxWrapDrift:         s.wrapDriftMax,
-		WrapDriftSamples:     s.wrapDriftN,
-		MaxStratResidual:     s.stratResMax,
-		StratResidualSamples: s.stratResN,
-		MaxUDTCondLog10:      s.condMax,
-		UDTCondSamples:       s.condN,
-	}
-	if s.stratResN > 0 {
-		m.Stability.MeanStratResidual = s.stratResSum / float64(s.stratResN)
-	}
-	if s.condN > 0 {
-		m.Stability.MeanUDTCondLog10 = s.condSum / float64(s.condN)
-	}
+	m.Stability = s.metrics()
 	return m
 }

@@ -23,6 +23,7 @@
 package obs
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -182,6 +183,45 @@ func (c OpCounts) Sub(prev OpCounts) OpCounts {
 	return d
 }
 
+// StabilityProbe identifies one of the numerical-stability diagnostics the
+// sweep samples: wrap drift, stack-vs-rebuild stratification residual, and
+// the UDT condition estimate (log10 of max|D|/min|D|).
+type StabilityProbe uint8
+
+const (
+	ProbeWrapDrift StabilityProbe = iota
+	ProbeStratResidual
+	ProbeUDTCond
+	NumProbes
+)
+
+// String returns the stable snake_case probe key.
+func (p StabilityProbe) String() string {
+	switch p {
+	case ProbeWrapDrift:
+		return "wrap_drift"
+	case ProbeStratResidual:
+		return "strat_residual"
+	case ProbeUDTCond:
+		return "udt_cond"
+	}
+	return "unknown"
+}
+
+// StabilityListener receives every stability sample as it is recorded — the
+// streaming counterpart of the end-of-run StabilityMetrics aggregates, and
+// the input side of the feedback controller in internal/autopilot.
+//
+// ObserveStability is called from the sweep's refresh path, possibly from
+// two goroutines at once (the spin-parallel phases), so implementations
+// must be safe for concurrent use and must not block: the sweep waits on
+// them at cluster-boundary frequency. Non-finite samples are delivered
+// unfiltered — a NaN reading is precisely the blow-up a listener exists to
+// react to.
+type StabilityListener interface {
+	ObserveStability(p StabilityProbe, v float64)
+}
+
 // Collector accumulates one run's phase timings, op-counter deltas and
 // stability telemetry. All methods are safe on a nil receiver (no-ops) and
 // safe for concurrent use; the hot-path methods never allocate.
@@ -191,20 +231,22 @@ type Collector struct {
 	startTime time.Time
 	wallNS    int64 // atomic; set by Finish, 0 while running
 
-	mu   sync.Mutex
-	stab stability
+	mu       sync.Mutex
+	stab     stability
+	listener StabilityListener
 }
 
-// stability aggregates the sampled numerical diagnostics.
+// stability aggregates the sampled numerical diagnostics per probe. Only
+// finite samples enter max/sum/n — a NaN would otherwise never update the
+// running max (NaN > x is false) and would poison the sum, so the run
+// would report "stable" through the exact blow-up the probes exist to
+// catch. Non-finite samples are counted separately with a sticky flag.
 type stability struct {
-	wrapDriftMax float64
-	wrapDriftN   int64
-	stratResMax  float64
-	stratResSum  float64
-	stratResN    int64
-	condMax      float64 // log10 of UDT condition estimate max|D|/min|D|
-	condSum      float64
-	condN        int64
+	max           [NumProbes]float64
+	sum           [NumProbes]float64
+	n             [NumProbes]int64
+	nonFinite     [NumProbes]int64
+	nonFiniteSeen bool
 }
 
 // New returns a collector whose wall clock and op baseline start now.
@@ -298,48 +340,69 @@ func (c *Collector) OpDeltas() OpCounts {
 	return Counts().Sub(c.startOps)
 }
 
-// SampleWrapDrift records one relative difference between a wrapped Green's
-// function and its stratified recomputation.
-func (c *Collector) SampleWrapDrift(d float64) {
+// SetStabilityListener attaches l to receive every subsequent stability
+// sample (nil detaches). The listener survives Reset: it belongs to the
+// run's control plane, not to the aggregates being rebaselined. Safe on a
+// nil collector (no-op: with collection disabled there is no sample stream
+// to observe).
+func (c *Collector) SetStabilityListener(l StabilityListener) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
-	if d > c.stab.wrapDriftMax {
-		c.stab.wrapDriftMax = d
-	}
-	c.stab.wrapDriftN++
+	c.listener = l
 	c.mu.Unlock()
 }
+
+// SampleStability records one reading of probe p. Finite samples enter the
+// per-probe max/sum/count aggregates; non-finite samples (NaN, ±Inf) are
+// counted separately and set a sticky flag so the Metrics document can
+// never report a blown-up run as stable. Either way the attached listener
+// (if any) sees the raw value, outside the collector's lock.
+func (c *Collector) SampleStability(p StabilityProbe, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		c.stab.nonFinite[p]++
+		c.stab.nonFiniteSeen = true
+	} else {
+		if v > c.stab.max[p] {
+			c.stab.max[p] = v
+		}
+		c.stab.sum[p] += v
+		c.stab.n[p]++
+	}
+	l := c.listener
+	c.mu.Unlock()
+	if l != nil {
+		l.ObserveStability(p, v)
+	}
+}
+
+// SampleWrapDrift records one relative difference between a wrapped Green's
+// function and its stratified recomputation.
+func (c *Collector) SampleWrapDrift(d float64) { c.SampleStability(ProbeWrapDrift, d) }
 
 // SampleStratResidual records one relative difference between the
 // prefix/suffix stack's boundary Green's function and a full-chain rebuild
 // (the Loh-stratification reference).
-func (c *Collector) SampleStratResidual(d float64) {
-	if c == nil {
-		return
-	}
-	c.mu.Lock()
-	if d > c.stab.stratResMax {
-		c.stab.stratResMax = d
-	}
-	c.stab.stratResSum += d
-	c.stab.stratResN++
-	c.mu.Unlock()
-}
+func (c *Collector) SampleStratResidual(d float64) { c.SampleStability(ProbeStratResidual, d) }
 
 // SampleUDTCond records one UDT condition estimate, as log10 of
 // max|D|/min|D| of a completed decomposition — the dynamic range the
 // graded factorization keeps out of the dense arithmetic.
-func (c *Collector) SampleUDTCond(log10Cond float64) {
+func (c *Collector) SampleUDTCond(log10Cond float64) { c.SampleStability(ProbeUDTCond, log10Cond) }
+
+// StabilitySnapshot returns the stability aggregates accumulated so far as
+// a by-value metrics block. Cold path; safe on a nil collector.
+func (c *Collector) StabilitySnapshot() StabilityMetrics {
 	if c == nil {
-		return
+		return StabilityMetrics{}
 	}
 	c.mu.Lock()
-	if log10Cond > c.stab.condMax {
-		c.stab.condMax = log10Cond
-	}
-	c.stab.condSum += log10Cond
-	c.stab.condN++
+	s := c.stab
 	c.mu.Unlock()
+	return s.metrics()
 }

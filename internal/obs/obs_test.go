@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
+	"sync"
 	"testing"
 	"time"
 )
@@ -76,6 +78,131 @@ func TestStabilitySamples(t *testing.T) {
 	}
 	if s.MaxUDTCondLog10 != 7 || s.MeanUDTCondLog10 != 6 || s.UDTCondSamples != 2 {
 		t.Fatalf("cond %v/%v/%d", s.MaxUDTCondLog10, s.MeanUDTCondLog10, s.UDTCondSamples)
+	}
+}
+
+// TestNonFiniteSamples is the regression test for the silent NaN/Inf drop:
+// `v > max` is false for NaN, so a blown-up probe reading used to leave the
+// maxima untouched and the run looked stable. Non-finite samples must be
+// counted explicitly, set the sticky flag, stay out of the finite
+// aggregates, and never leak NaN into the JSON document.
+func TestNonFiniteSamples(t *testing.T) {
+	c := New()
+	c.SampleWrapDrift(1e-10)
+	c.SampleWrapDrift(math.NaN())
+	c.SampleStratResidual(math.Inf(1))
+	c.SampleStratResidual(2e-12)
+	c.SampleUDTCond(math.NaN())
+	c.SampleUDTCond(math.Inf(-1))
+	m := c.Metrics()
+	s := m.Stability
+	if !s.NonFiniteSeen {
+		t.Fatal("NaN/Inf samples did not set the sticky non-finite flag")
+	}
+	if s.NonFiniteWrapDrift != 1 || s.NonFiniteStratResidual != 1 || s.NonFiniteUDTCond != 2 {
+		t.Fatalf("non-finite counts drift=%d strat=%d cond=%d, want 1/1/2",
+			s.NonFiniteWrapDrift, s.NonFiniteStratResidual, s.NonFiniteUDTCond)
+	}
+	if s.MaxWrapDrift != 1e-10 || s.WrapDriftSamples != 1 {
+		t.Fatalf("finite wrap drift aggregates polluted: max=%v n=%d", s.MaxWrapDrift, s.WrapDriftSamples)
+	}
+	if s.MaxStratResidual != 2e-12 || s.MeanStratResidual != 2e-12 || s.StratResidualSamples != 1 {
+		t.Fatalf("finite strat aggregates polluted: max=%v mean=%v n=%d",
+			s.MaxStratResidual, s.MeanStratResidual, s.StratResidualSamples)
+	}
+	if s.MaxUDTCondLog10 != 0 || s.MeanUDTCondLog10 != 0 || s.UDTCondSamples != 0 {
+		t.Fatalf("cond aggregates should be empty: max=%v mean=%v n=%d",
+			s.MaxUDTCondLog10, s.MeanUDTCondLog10, s.UDTCondSamples)
+	}
+	if _, err := json.Marshal(m); err != nil {
+		t.Fatalf("metrics with non-finite samples must still marshal: %v", err)
+	}
+}
+
+// TestZeroSampleMeansRoundTrip asserts that a run where a probe never fired
+// exports mean 0 with samples 0 (not NaN, which encoding/json rejects), and
+// that the document round-trips.
+func TestZeroSampleMeansRoundTrip(t *testing.T) {
+	c := New()
+	c.Finish()
+	m := c.Metrics()
+	s := m.Stability
+	if s.StratResidualSamples != 0 || s.UDTCondSamples != 0 || s.WrapDriftSamples != 0 {
+		t.Fatalf("expected zero samples, got %+v", s)
+	}
+	if s.MeanStratResidual != 0 || s.MeanUDTCondLog10 != 0 {
+		t.Fatalf("zero-sample means must be exactly 0, got strat=%v cond=%v",
+			s.MeanStratResidual, s.MeanUDTCondLog10)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("zero-sample metrics must marshal: %v", err)
+	}
+	var back Metrics
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Stability != s {
+		t.Fatalf("stability round trip mismatch: %+v vs %+v", back.Stability, s)
+	}
+}
+
+// recordingListener captures the sample stream (thread-safely, as required
+// by the StabilityListener contract).
+type recordingListener struct {
+	mu      sync.Mutex
+	samples []struct {
+		p StabilityProbe
+		v float64
+	}
+}
+
+func (r *recordingListener) ObserveStability(p StabilityProbe, v float64) {
+	r.mu.Lock()
+	r.samples = append(r.samples, struct {
+		p StabilityProbe
+		v float64
+	}{p, v})
+	r.mu.Unlock()
+}
+
+// TestStabilityListenerStream asserts the listener sees every sample in
+// order, including non-finite ones, and survives Reset.
+func TestStabilityListenerStream(t *testing.T) {
+	c := New()
+	r := &recordingListener{}
+	c.SetStabilityListener(r)
+	c.SampleWrapDrift(1e-9)
+	c.SampleUDTCond(math.NaN())
+	c.Reset()
+	c.SampleStratResidual(3e-13)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) != 3 {
+		t.Fatalf("listener saw %d samples, want 3 (must survive Reset)", len(r.samples))
+	}
+	if r.samples[0].p != ProbeWrapDrift || r.samples[0].v != 1e-9 {
+		t.Fatalf("sample 0: %+v", r.samples[0])
+	}
+	if r.samples[1].p != ProbeUDTCond || !math.IsNaN(r.samples[1].v) {
+		t.Fatalf("sample 1 must deliver the raw NaN: %+v", r.samples[1])
+	}
+	if r.samples[2].p != ProbeStratResidual || r.samples[2].v != 3e-13 {
+		t.Fatalf("sample 2: %+v", r.samples[2])
+	}
+	c.SetStabilityListener(nil)
+	c.SampleWrapDrift(1)
+	if len(r.samples) != 3 {
+		t.Fatal("detached listener still receives samples")
+	}
+}
+
+func TestProbeNames(t *testing.T) {
+	want := []string{"wrap_drift", "strat_residual", "udt_cond"}
+	for p := StabilityProbe(0); p < NumProbes; p++ {
+		if p.String() != want[p] {
+			t.Fatalf("probe %d name %q, want %q", p, p.String(), want[p])
+		}
 	}
 }
 

@@ -441,3 +441,51 @@ func (sw *Sweeper) MaxWrapDrift() float64 { return sw.maxWrapDrift }
 
 // ClusterK returns the clustering size actually in use.
 func (sw *Sweeper) ClusterK() int { return sw.opts.ClusterK }
+
+// StabilityEvery returns the residual-check cadence in use.
+func (sw *Sweeper) StabilityEvery() int { return sw.opts.StabilityEvery }
+
+// SetStabilityEvery changes the stack-vs-rebuild residual check cadence
+// (boundaries between checks; <= 0 disables). Takes effect at the next
+// refresh; the cadence never influences the Markov chain, only how often
+// the diagnostic is sampled.
+func (sw *Sweeper) SetStabilityEvery(n int) {
+	if n < 0 {
+		n = 0
+	}
+	sw.opts.StabilityEvery = n
+}
+
+// SetClusterK switches the sweeper to cluster size k — the stability
+// autopilot's actuator. k is decremented to the nearest divisor of L (like
+// NewSweeper) and returned. Call only between sweeps: the Green's
+// functions then sit at cluster boundary 0, which is independent of the
+// clustering, so the resize rebuilds the per-spin cluster sets and
+// retargets the stratification stacks without touching G or the field —
+// the Markov chain continues exactly where it was. The pre-bound spin
+// closures read the cluster-set and stack fields at call time, so no
+// rebinding is needed.
+func (sw *Sweeper) SetClusterK(k int) int {
+	if k < 1 {
+		k = 1
+	}
+	for sw.Prop.Model.L%k != 0 {
+		k--
+	}
+	if k == sw.opts.ClusterK {
+		return k
+	}
+	sw.opts.ClusterK = k
+	cstart := sw.opts.Obs.Begin()
+	sw.csUp = greens.NewClusterSet(sw.Prop, sw.Field, hubbard.Up, k)
+	sw.csDn = greens.NewClusterSet(sw.Prop, sw.Field, hubbard.Down, k)
+	sw.opts.Obs.End(obs.PhaseCluster, cstart)
+	if sw.stUp != nil {
+		sstart := sw.opts.Obs.Begin()
+		sw.stUp.Retarget(sw.csUp)
+		sw.stDn.Retarget(sw.csDn)
+		sw.opts.Obs.End(obs.PhaseRefresh, sstart)
+	}
+	sw.boundary = 0
+	return k
+}

@@ -86,6 +86,9 @@ var (
 	WithMeasureDynamics   = core.WithMeasureDynamics
 	WithStabilityCheck    = core.WithStabilityCheck
 	WithSeed              = core.WithSeed
+	WithAutopilot         = core.WithAutopilot
+	WithAutopilotBounds   = core.WithAutopilotBounds
+	WithAutopilotCeilings = core.WithAutopilotCeilings
 )
 
 // Run options.
@@ -137,6 +140,7 @@ func NewSimulation(cfg Config) (*Simulation, error) { return core.New(cfg) }
 //	k                 matrix clustering size (= wrapping count)
 //	delay             delayed-update block size
 //	prepivot          true = Algorithm 3, false = Algorithm 2
+//	autopilot         true = adapt k and check cadence from live telemetry
 //	seed              RNG seed
 func LoadConfig(path string) (Config, error) {
 	f, err := config.Load(path)
@@ -165,6 +169,7 @@ func ConfigFromFile(f *config.File) (Config, error) {
 	cfg.ClusterK = f.Int("k", cfg.ClusterK)
 	cfg.Delay = f.Int("delay", cfg.Delay)
 	cfg.PrePivot = f.Bool("prepivot", cfg.PrePivot)
+	cfg.Autopilot = f.Bool("autopilot", cfg.Autopilot)
 	cfg.Seed = f.Uint64("seed", cfg.Seed)
 	if err := f.Err(); err != nil {
 		return cfg, err

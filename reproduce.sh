@@ -21,7 +21,7 @@ if [ -n "$UNFORMATTED" ]; then
 fi
 go vet ./...
 go run ./cmd/qmclint ./...
-go test -race ./internal/parallel/ ./internal/blas/ ./internal/update/ ./internal/greens/ ./internal/obs/ ./internal/core/ ./internal/gpu/
+go test -race ./internal/parallel/ ./internal/blas/ ./internal/update/ ./internal/greens/ ./internal/obs/ ./internal/autopilot/ ./internal/core/ ./internal/gpu/
 echo "== Verify: qmcdebug sanitizer build (NaN/Inf scans, drift asserts, pool bookkeeping)"
 go test -tags qmcdebug ./internal/...
 echo "== Verify: fuzz kernels against reference implementations (10s each)"
@@ -35,6 +35,8 @@ go run ./cmd/kernels -sizes 64,128,256,512,1024 -reps 2 -json BENCH_gemm.json -q
 go run ./cmd/sweep -json BENCH_sweep.json -bsizes $BSIZES -bsweeps 2
 echo "== Verify: metrics instrumentation overhead gate (<2% on the sweep hot path)"
 go run ./cmd/sweep -obscheck -obsnx 8 -obsreps 3 -obsmax 2
+echo "== Verify: stability autopilot ablation (residual held, cadence no denser, no slower)"
+go run ./cmd/sweep -autopilot BENCH_autopilot.json -apbeta 32 -apl 160 -apk 10 -apcheck 2 -apgate
 
 if [ "${PAPER_SCALE:-0}" = "1" ]; then
     KSIZES=128,256,384,512,768,1024
