@@ -57,6 +57,8 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-sweep progress")
 	stability := flag.Int("stability", 0, "sample the stack-vs-rebuild residual every N cluster boundaries (0 = off)")
 	auto := flag.Bool("autopilot", false, "adapt k and the stability-check cadence from live telemetry")
+	devices := flag.Int("devices", -1, "simulated accelerators to sweep on (0 = CPU sweeper)")
+	graphs := flag.Bool("graphs", false, "capture device launch sequences into command graphs (needs -devices >= 1)")
 	jsonOut := flag.String("json", "", "also write results (with phase metrics) as JSON to this file")
 	walkers := flag.Int("walkers", 1, "independent parallel Markov chains to merge")
 	ckptOut := flag.String("checkpoint", "", "write a restart file here after the run (or on interrupt)")
@@ -141,6 +143,12 @@ func main() {
 	}
 	if *auto {
 		opts = append(opts, questgo.WithAutopilot(true))
+	}
+	if *devices >= 0 {
+		opts = append(opts, questgo.WithDevices(*devices))
+	}
+	if *graphs {
+		opts = append(opts, questgo.WithGraphs(true))
 	}
 	cfg, err := cfg.With(opts...)
 	if err != nil {

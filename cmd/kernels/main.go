@@ -16,12 +16,11 @@
 //
 //	kernels [-sizes 128,256,384,512,768,1024] [-reps 3] [-json BENCH_gemm.json] [-qrpgate 512]
 //
-// With -json, machine-readable results are appended to the named file in
-// both schemas: one benchutil.Record line per series (gemm, geqrf, geqp3,
-// geqp3_blocked) and one combined legacy line per size carrying
-// gemm_gflops/geqrf_gflops/geqp3_gflops/geqp3_blocked_gflops, so existing
-// BENCH_gemm.json consumers keep parsing and the blocked series lands next
-// to the historical geqp3 numbers it is judged against.
+// With -json, machine-readable results are appended to the named file as
+// one benchutil.Record line per series (gemm, geqrf, geqp3, geqp3_blocked).
+// The geqp3_blocked record additionally carries the historical
+// geqp3_blocked_gflops key as a float param, so tooling that diffed the
+// retired combined-per-size schema still finds the number it gates on.
 //
 // With -qrpgate N, the run fails (exit 1) unless the blocked QRP was
 // measured at size N and was at least as fast as the level-2 reference
@@ -42,24 +41,10 @@ import (
 	"questgo/internal/rng"
 )
 
-// legacyLine is the original combined-per-size schema of BENCH_gemm.json.
-// Field names and units are a compatibility surface: regression tooling
-// diffs the blocked series against historical geqp3_gflops values.
-type legacyLine struct {
-	Bench            string  `json:"bench"`
-	N                int     `json:"n"`
-	GoMaxProcs       int     `json:"gomaxprocs"`
-	GemmGFlops       float64 `json:"gemm_gflops"`
-	GeqrfGFlops      float64 `json:"geqrf_gflops"`
-	Geqp3GFlops      float64 `json:"geqp3_gflops"`
-	Geqp3BlockGFlops float64 `json:"geqp3_blocked_gflops"`
-	Time             string  `json:"time"`
-}
-
 func main() {
 	sizesFlag := flag.String("sizes", "128,256,384,512,768,1024", "comma-separated matrix sizes")
 	reps := flag.Int("reps", 3, "minimum repetitions per timing")
-	jsonPath := flag.String("json", "", "append JSON lines (Record + legacy schema) to this file")
+	jsonPath := flag.String("json", "", "append one benchutil.Record JSON line per series to this file")
 	qrpGate := flag.Int("qrpgate", 0, "fail unless blocked QRP >= level-2 QRP at this size (0 = off)")
 	flag.Parse()
 
@@ -132,24 +117,13 @@ func main() {
 			} {
 				rec := benchutil.NewRecord("kernels", pt.name, n, pt.secs, pt.flops).
 					WithParam("gomaxprocs", runtime.GOMAXPROCS(0))
+				if pt.name == "geqp3_blocked" {
+					rec = rec.WithFloatParam("geqp3_blocked_gflops", qrpBlkGF)
+				}
 				if err := rec.Append(*jsonPath); err != nil {
 					fmt.Fprintln(os.Stderr, "json append:", err)
 					os.Exit(1)
 				}
-			}
-			line := legacyLine{
-				Bench:            "kernels",
-				N:                n,
-				GoMaxProcs:       runtime.GOMAXPROCS(0),
-				GemmGFlops:       gemmGF,
-				GeqrfGFlops:      qrGF,
-				Geqp3GFlops:      qrpL2GF,
-				Geqp3BlockGFlops: qrpBlkGF,
-				Time:             time.Now().UTC().Format(time.RFC3339),
-			}
-			if err := benchutil.AppendJSONLine(*jsonPath, line); err != nil {
-				fmt.Fprintln(os.Stderr, "json append:", err)
-				os.Exit(1)
 			}
 		}
 	}

@@ -29,6 +29,10 @@
 //   - nakedpanic: kernel panics about shapes must carry the offending
 //     dimensions (fmt.Sprintf), not a bare string.
 //   - errcheck: cmd/* must not drop errors from flag/JSON/file handling.
+//   - streamorder: internal/gpu's modeled-clock state may be written only
+//     through the Stream/Graph execution layer (or Device.Reset), so the
+//     overlap and launch-overhead accounting always reflects an event-
+//     ordered schedule.
 //
 // # Annotations
 //
@@ -272,5 +276,6 @@ func All() []*Analyzer {
 		RngDiscipline,
 		NakedPanic,
 		ErrCheck,
+		StreamOrder,
 	}
 }

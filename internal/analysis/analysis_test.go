@@ -18,6 +18,7 @@ func TestFixtures(t *testing.T) {
 		{RngDiscipline, "rngdiscipline_ok"},
 		{NakedPanic, "nakedpanic"},
 		{ErrCheck, "errcheck"},
+		{StreamOrder, "streamorder"},
 	}
 	for _, c := range cases {
 		c := c
@@ -30,8 +31,8 @@ func TestFixtures(t *testing.T) {
 // TestAllRegistered keeps cmd/qmclint's -list in sync with the suite.
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 7 {
-		t.Fatalf("All() returned %d analyzers, want 7", len(all))
+	if len(all) != 8 {
+		t.Fatalf("All() returned %d analyzers, want 8", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

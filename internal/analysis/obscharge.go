@@ -52,6 +52,8 @@ var obsKernelRegistry = map[string]map[string]string{
 		"flush":          "OpDelayedFlushes",
 		"Sweep":          "OpSweeps",
 		"QRFactorHybrid": "OpQRFactorizations",
+		"Replay":         "OpGraphReplays",
+		"PeerCopy":       "OpPeerBytes",
 	},
 }
 

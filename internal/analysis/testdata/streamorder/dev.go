@@ -1,0 +1,63 @@
+//qmclint:path questgo/internal/gpu
+
+// Package fixture exercises the streamorder analyzer: the simulated
+// device's modeled-clock fields may be written only from *Stream or *Graph
+// methods (or zeroed by Device.Reset); anything else bypasses the stream
+// dependency ordering.
+package fixture
+
+import "sync/atomic"
+
+type Device struct {
+	busyNS, xferBusyNS, launchNS, realNS int64
+	transferred                          int64
+}
+
+type Stream struct {
+	dev     *Device
+	clockNS int64
+}
+
+type Graph struct {
+	dev *Device
+}
+
+// Stream methods own the clock: silent.
+func (s *Stream) chargeKernel(ns int64) {
+	atomic.AddInt64(&s.dev.busyNS, ns)
+	atomic.AddInt64(&s.clockNS, ns)
+}
+
+// Graph replay charges through the graph layer: silent.
+func (g *Graph) Replay(ns int64) {
+	atomic.AddInt64(&g.dev.launchNS, ns)
+}
+
+// Reset is the sanctioned re-baseline: silent.
+func (d *Device) Reset() {
+	atomic.StoreInt64(&d.busyNS, 0)
+	d.realNS = 0
+}
+
+// Reads are not ordered state transitions: silent.
+func clock(d *Device) int64 {
+	return atomic.LoadInt64(&d.busyNS) + d.xferBusyNS
+}
+
+// Counter fields outside the clock set are not streamorder's business:
+// silent (obscharge owns counter discipline).
+func (d *Device) account(bytes int64) {
+	atomic.AddInt64(&d.transferred, bytes)
+}
+
+// A Device method advancing the clock directly bypasses the streams.
+func (d *Device) sneakCharge(ns int64) {
+	atomic.AddInt64(&d.busyNS, ns) // want "outside a Stream/Graph method"
+	d.launchNS += ns               // want "outside a Stream/Graph method"
+}
+
+// Free functions are no better.
+func sneakier(s *Stream, ns int64) {
+	atomic.StoreInt64(&s.clockNS, ns) // want "outside a Stream/Graph method"
+	s.dev.realNS = ns                 // want "outside a Stream/Graph method"
+}

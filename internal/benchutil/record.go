@@ -21,6 +21,10 @@ type Record struct {
 	// Params carries any further size/shape parameters by name (k, L, nd).
 	N      int            `json:"n,omitempty"`
 	Params map[string]int `json:"params,omitempty"`
+	// FloatParams carries named real-valued results that ride alongside the
+	// primary Ms/GFlops measurement (companion rates, speedup ratios) —
+	// everything a series needs so no side-channel schema is required.
+	FloatParams map[string]float64 `json:"fparams,omitempty"`
 	// Ms is the measured milliseconds per operation; GFlops the derived
 	// throughput when the harness knows the flop count.
 	Ms     float64 `json:"ms"`
@@ -53,6 +57,18 @@ func (r Record) WithParam(key string, v int) Record {
 	}
 	p[key] = v
 	r.Params = p
+	return r
+}
+
+// WithFloatParam returns a copy of the record with one named real-valued
+// parameter set.
+func (r Record) WithFloatParam(key string, v float64) Record {
+	p := make(map[string]float64, len(r.FloatParams)+1)
+	for k, old := range r.FloatParams {
+		p[k] = old
+	}
+	p[key] = v
+	r.FloatParams = p
 	return r
 }
 

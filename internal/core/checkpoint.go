@@ -7,7 +7,6 @@ import (
 	"os"
 
 	"questgo/internal/autopilot"
-	"questgo/internal/update"
 )
 
 // Checkpoint captures the complete Markov-chain state of a simulation: the
@@ -133,15 +132,7 @@ func Resume(c *Checkpoint) (*Simulation, error) {
 		stabEvery = sim.pilot.CheckEvery()
 	}
 	sim.col.Reset()
-	sim.sweeper = update.NewSweeper(sim.prop, sim.field, sim.rng, update.Options{
-		ClusterK:       clusterK,
-		Delay:          c.Config.Delay,
-		PrePivot:       c.Config.PrePivot,
-		NoStack:        c.Config.NoStack,
-		SerialSpins:    c.Config.SerialSpins,
-		Obs:            sim.col,
-		StabilityEvery: stabEvery,
-	})
+	sim.sweeper, sim.group = newSweeper(c.Config, sim.prop, sim.field, sim.rng, sim.col, clusterK, stabEvery)
 	sim.sweeper.SetSign(c.Sign)
 	return sim, nil
 }

@@ -111,6 +111,19 @@ func WithStabilityCheck(k int) ConfigOption {
 	return func(c *Config) { c.StabilityCheckEvery = k }
 }
 
+// WithDevices runs the sweeps on n simulated accelerators (0 restores the
+// CPU sweeper; n > 1 shards the spin sectors and their cluster blocks
+// across the device group). Same physics, device-modeled timing.
+func WithDevices(n int) ConfigOption {
+	return func(c *Config) { c.Devices = n }
+}
+
+// WithGraphs toggles device command-graph capture/replay of the wrap and
+// cluster launch sequences (requires WithDevices >= 1). Modeled-time only.
+func WithGraphs(on bool) ConfigOption {
+	return func(c *Config) { c.UseGraphs = on }
+}
+
 // WithSeed sets the RNG seed.
 func WithSeed(seed uint64) ConfigOption {
 	return func(c *Config) { c.Seed = seed }

@@ -11,8 +11,10 @@ import (
 	"time"
 
 	"questgo/internal/autopilot"
+	"questgo/internal/gpu"
 	"questgo/internal/hubbard"
 	"questgo/internal/lattice"
+	"questgo/internal/mat"
 	"questgo/internal/measure"
 	"questgo/internal/obs"
 	"questgo/internal/profile"
@@ -70,6 +72,18 @@ type Config struct {
 	// check costs one extra whole-chain stratification, so it is sampled;
 	// 0 disables it.
 	StabilityCheckEvery int
+
+	// Devices, when >= 1, runs the sweeps on that many simulated
+	// accelerators (internal/gpu) instead of the CPU sweeper: level-3 work
+	// — wrapping, clustering, delayed-update flushes — executes through the
+	// device cost model, sharded across the group when Devices > 1. The
+	// physics is identical (the simulated device computes on the host); the
+	// run metrics gain a per-device counter section. 0 keeps the CPU path.
+	Devices int
+	// UseGraphs captures the device wrap/cluster launch sequences into
+	// command graphs and replays them for a single launch overhead per call
+	// (requires Devices >= 1). Modeled-time only; never changes numbers.
+	UseGraphs bool
 
 	// Autopilot enables the stability feedback controller
 	// (internal/autopilot): the run's live telemetry — wrap drift, strat
@@ -134,6 +148,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: autopilot k bounds must be >= 0 (0 = default), got min %d max %d", c.AutopilotMinK, c.AutopilotMaxK)
 	case c.AutopilotMinK > 0 && c.AutopilotMaxK > 0 && c.AutopilotMinK > c.AutopilotMaxK:
 		return fmt.Errorf("core: autopilot min k %d exceeds max k %d", c.AutopilotMinK, c.AutopilotMaxK)
+	case c.Devices < 0:
+		return fmt.Errorf("core: device count must be >= 0 (0 = CPU sweeper), got %d", c.Devices)
+	case c.UseGraphs && c.Devices < 1:
+		return fmt.Errorf("core: command graphs need a device (set Devices >= 1)")
+	case c.Devices >= 1 && !c.PrePivot:
+		return fmt.Errorf("core: the device sweeper stratifies with Algorithm 3 only (PrePivot must be true)")
 	case math.IsNaN(c.AutopilotCondCeil) || c.AutopilotCondCeil < 0 ||
 		math.IsNaN(c.AutopilotDriftCeil) || c.AutopilotDriftCeil < 0 ||
 		math.IsNaN(c.AutopilotResidualCeil) || c.AutopilotResidualCeil < 0:
@@ -182,6 +202,25 @@ type Results struct {
 	Prof *profile.Profile
 }
 
+// sweeper is the Markov-chain engine surface shared by the CPU sweeper
+// (update.Sweeper) and the device-offloaded one (gpu.Sweeper): everything
+// the run loop, the autopilot and the checkpointing need. The two produce
+// the same physics; Config.Devices selects the engine.
+type sweeper interface {
+	Sweep()
+	Sign() float64
+	SetSign(float64)
+	GreenUp() *mat.Dense
+	GreenDn() *mat.Dense
+	AcceptanceRate() float64
+	MaxWrapDrift() float64
+	ClusterK() int
+	SetClusterK(int) int
+	StabilityEvery() int
+	SetStabilityEvery(int)
+	SetBoundaryHook(func())
+}
+
 // Simulation is a configured DQMC run.
 type Simulation struct {
 	cfg     Config
@@ -190,9 +229,38 @@ type Simulation struct {
 	prop    *hubbard.Propagator
 	field   *hubbard.Field
 	rng     *rng.Rand
-	sweeper *update.Sweeper
+	sweeper sweeper
+	group   *gpu.Group // nil unless cfg.Devices >= 1
 	col     *obs.Collector
 	pilot   *autopilot.Controller // nil unless cfg.Autopilot
+}
+
+// newSweeper builds the configured sweep engine: the device group sweeper
+// when cfg.Devices >= 1 (sharded over that many simulated accelerators),
+// the CPU sweeper otherwise. Shared by New and Resume so a resumed run
+// lands on the same engine it checkpointed from.
+func newSweeper(cfg Config, prop *hubbard.Propagator, field *hubbard.Field, r *rng.Rand, col *obs.Collector, clusterK, stabEvery int) (sweeper, *gpu.Group) {
+	if cfg.Devices >= 1 {
+		g := gpu.NewGroup(cfg.Devices, gpu.TeslaC2050())
+		return gpu.NewGroupSweeper(g, prop, field, r, gpu.SweeperOptions{
+			ClusterK:       clusterK,
+			Delay:          cfg.Delay,
+			NoStack:        cfg.NoStack,
+			SerialSpins:    cfg.SerialSpins,
+			UseGraphs:      cfg.UseGraphs,
+			Obs:            col,
+			StabilityEvery: stabEvery,
+		}), g
+	}
+	return update.NewSweeper(prop, field, r, update.Options{
+		ClusterK:       clusterK,
+		Delay:          cfg.Delay,
+		PrePivot:       cfg.PrePivot,
+		NoStack:        cfg.NoStack,
+		SerialSpins:    cfg.SerialSpins,
+		Obs:            col,
+		StabilityEvery: stabEvery,
+	}), nil
 }
 
 // New builds the lattice, propagators and initial field for the
@@ -231,16 +299,8 @@ func newWithCollector(cfg Config, col *obs.Collector) (*Simulation, error) {
 	if cfg.Autopilot && stabEvery == 0 {
 		stabEvery = 4 // the controller is blind without residual samples
 	}
-	sw := update.NewSweeper(prop, field, r, update.Options{
-		ClusterK:       cfg.ClusterK,
-		Delay:          cfg.Delay,
-		PrePivot:       cfg.PrePivot,
-		NoStack:        cfg.NoStack,
-		SerialSpins:    cfg.SerialSpins,
-		Obs:            col,
-		StabilityEvery: stabEvery,
-	})
-	sim := &Simulation{cfg: cfg, lat: lat, model: model, prop: prop, field: field, rng: r, sweeper: sw, col: col}
+	sw, group := newSweeper(cfg, prop, field, r, col, cfg.ClusterK, stabEvery)
+	sim := &Simulation{cfg: cfg, lat: lat, model: model, prop: prop, field: field, rng: r, sweeper: sw, group: group, col: col}
 	if cfg.Autopilot {
 		pilot, err := autopilot.New(autopilot.Config{
 			L:                 cfg.L,
@@ -339,8 +399,13 @@ func (s *Simulation) report(cb func(Progress), stage string, sweep, total int) {
 func (s *Simulation) RunContext(ctx context.Context, cb func(Progress)) (*Results, error) {
 	// Re-baseline the collector so constructor work (cluster building, stack
 	// setup — or a long gap between New and Run) is excluded from the run's
-	// wall time and the phase breakdown stays an honest partition of it.
+	// wall time and the phase breakdown stays an honest partition of it. The
+	// device clocks re-baseline with it (allocations persist, so the memory
+	// high-water mark still covers the whole session).
 	s.col.Reset()
+	if s.group != nil {
+		s.group.Reset()
+	}
 	return s.runBody(ctx, cb)
 }
 
@@ -489,6 +554,20 @@ func (s *Simulation) runBody(ctx context.Context, cb func(Progress)) (*Results, 
 	res.Metrics = s.col.Metrics()
 	if s.pilot != nil {
 		res.Metrics.Autopilot = s.pilot.MetricsDoc()
+	}
+	if s.group != nil {
+		for i, d := range s.group.Devs {
+			res.Metrics.Devices = append(res.Metrics.Devices, obs.DeviceMetrics{
+				Device:           fmt.Sprintf("dev%d", i),
+				ClockMS:          float64(d.Clock()) / float64(time.Millisecond),
+				LaunchOverheadMS: float64(d.LaunchOverhead()) / float64(time.Millisecond),
+				ModeledGFlops:    d.GFlopsRate(),
+				Flops:            int64(d.Flops()),
+				TransferredBytes: d.Transferred(),
+				Kernels:          int64(d.Kernels()),
+				MaxAllocBytes:    d.MaxAllocBytes(),
+			})
+		}
 	}
 	res.Prof = profile.FromPhases(s.col.PhaseDurations())
 	return res, nil

@@ -13,17 +13,25 @@
 // clustering amortizes one transfer over k GEMMs and approaches device
 // GEMM throughput, wrapping pays a full Green's function round trip for
 // two GEMMs and saturates lower, and both improve with matrix dimension.
+//
+// Execution is organised around Streams (see stream.go): every operation
+// is enqueued on a Stream whose modeled clock advances independently, with
+// Event dependencies serializing only where the dataflow requires it —
+// the same semantics as CUDA streams. The Device itself keeps two engine
+// occupancy accumulators (compute and DMA) so concurrent streams can
+// overlap in time but never exceed the card's aggregate throughput; its
+// Clock is the lower-bound makespan max(stream critical paths, engine
+// occupancies). Command graphs (graph.go) record a stream's launch
+// sequence once and replay it for a single launch overhead.
 package gpu
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"questgo/internal/blas"
-	"questgo/internal/check"
 	"questgo/internal/mat"
-	"questgo/internal/obs"
 )
 
 // DeviceModel holds the cost-model parameters of the simulated accelerator.
@@ -61,20 +69,33 @@ func TeslaC2050() DeviceModel {
 // host memory, but every operation advances a modeled clock according to
 // the DeviceModel.
 //
-// The clock and counters are mutex-guarded so independent command streams —
-// the spin-up and spin-down Accelerators of the spin-parallel sweep — can
-// charge the same device concurrently, modeling two CUDA streams sharing
-// one card. Matrix payloads are not guarded: concurrent use is only safe on
-// disjoint device matrices, which per-spin Accelerator scratch guarantees.
+// All timing state is atomic so independent command streams — the spin-up
+// and spin-down Accelerators of the spin-parallel sweep, or the compute and
+// copy streams of one Accelerator — can charge the same device
+// concurrently with no serializing mutex. Matrix payloads are not guarded:
+// concurrent use is only safe on disjoint device matrices, which per-spin
+// Accelerator scratch guarantees.
 type Device struct {
-	model       DeviceModel
-	mu          sync.Mutex
-	clock       time.Duration
-	realTime    time.Duration
+	model DeviceModel
+
+	mu      sync.Mutex // guards the stream list only
+	streams []*Stream
+	s0      *Stream // default stream backing the legacy synchronous API
+
+	// Modeled clock state, all atomic nanosecond/count cells. Written only
+	// by Stream and Graph methods (and Reset) — the qmclint streamorder
+	// analyzer enforces that no other code advances the clock directly.
+	busyNS     int64 // compute-engine occupancy (kernel time + launches)
+	xferBusyNS int64 // DMA-engine occupancy (transfer time + latencies)
+	launchNS   int64 // launch + transfer-latency overhead included above
+	realNS     int64 // host wall time spent executing simulated kernels
+
 	transferred int64
-	flops       float64
-	kernels     int
-	allocBytes  int64
+	kernels     int64
+	flops       int64 // modeled flops are integral (2mnk etc.)
+
+	allocBytes    int64
+	maxAllocBytes int64
 }
 
 // NewDevice creates a device with the given cost model.
@@ -82,8 +103,13 @@ func NewDevice(model DeviceModel) *Device {
 	if model.TransferBytesPerSec <= 0 || model.GemmFlopsPerSec <= 0 || model.MemBytesPerSec <= 0 {
 		panic("gpu: cost model rates must be positive")
 	}
-	return &Device{model: model}
+	d := &Device{model: model}
+	d.s0 = d.NewStream()
+	return d
 }
+
+// Model returns the device's cost-model parameters.
+func (d *Device) Model() DeviceModel { return d.model }
 
 // Matrix is a device-resident column-major matrix.
 type Matrix struct {
@@ -91,6 +117,9 @@ type Matrix struct {
 	m    *mat.Dense
 	rows int
 	cols int
+	// owned is the allocation size accounted to the device; 0 for views
+	// (which share a parent's storage) and for freed matrices.
+	owned int64
 }
 
 // Rows returns the matrix row count.
@@ -99,214 +128,147 @@ func (a *Matrix) Rows() int { return a.rows }
 // Cols returns the matrix column count.
 func (a *Matrix) Cols() int { return a.cols }
 
-// Malloc allocates an uninitialized device matrix.
+// Malloc allocates an uninitialized device matrix and accounts it against
+// the device's allocation counters (cudaMalloc).
 func (d *Device) Malloc(rows, cols int) *Matrix {
-	d.mu.Lock()
-	d.allocBytes += int64(rows) * int64(cols) * 8
-	d.mu.Unlock()
-	return &Matrix{dev: d, m: mat.New(rows, cols), rows: rows, cols: cols}
-}
-
-//qmc:charges OpDeviceBytes
-func (d *Device) chargeTransfer(bytes int64) {
-	obs.Add(obs.OpDeviceBytes, bytes)
-	d.mu.Lock()
-	d.transferred += bytes
-	d.clock += d.model.TransferLatency
-	d.clock += time.Duration(float64(bytes) / d.model.TransferBytesPerSec * float64(time.Second))
-	d.mu.Unlock()
-}
-
-//qmc:charges OpDeviceKernels,OpDeviceFlops
-func (d *Device) chargeKernel(flops, memBytes float64) {
-	obs.Add(obs.OpDeviceKernels, 1)
-	obs.Add(obs.OpDeviceFlops, int64(flops))
-	compute := flops / d.model.GemmFlopsPerSec
-	memory := memBytes / d.model.MemBytesPerSec
-	// The kernel runs at whichever resource is the bottleneck.
-	t := compute
-	if memory > t {
-		t = memory
+	bytes := int64(rows) * int64(cols) * 8
+	now := atomic.AddInt64(&d.allocBytes, bytes)
+	for {
+		hw := atomic.LoadInt64(&d.maxAllocBytes)
+		if now <= hw || atomic.CompareAndSwapInt64(&d.maxAllocBytes, hw, now) {
+			break
+		}
 	}
-	d.mu.Lock()
-	d.kernels++
-	d.flops += flops
-	d.clock += d.model.KernelLaunch
-	d.clock += time.Duration(t * float64(time.Second))
-	d.mu.Unlock()
+	return &Matrix{dev: d, m: mat.New(rows, cols), rows: rows, cols: cols, owned: bytes}
 }
 
-// SetMatrix copies a host matrix to the device (cublasSetMatrix).
-func (d *Device) SetMatrix(dst *Matrix, src *mat.Dense) {
-	d.checkOwned(dst)
-	if dst.rows != src.Rows || dst.cols != src.Cols {
-		panic(fmt.Sprintf("gpu: SetMatrix dimension mismatch: device matrix is %dx%d but host source is %dx%d", dst.rows, dst.cols, src.Rows, src.Cols))
+// Free releases the device allocation (cudaFree). Safe to call twice; a
+// no-op on views, which never own storage. Any later device operation on
+// the freed matrix panics, catching use-after-free in the modeled memory
+// accounting.
+func (a *Matrix) Free() {
+	if a.owned == 0 {
+		return
 	}
-	dst.m.CopyFrom(src)
-	d.chargeTransfer(int64(src.Rows) * int64(src.Cols) * 8)
+	atomic.AddInt64(&a.dev.allocBytes, -a.owned)
+	a.owned = 0
+	a.dev = nil
+	a.m = nil
 }
 
-// GetMatrix copies a device matrix back to the host (cublasGetMatrix).
-func (d *Device) GetMatrix(dst *mat.Dense, src *Matrix) {
-	d.checkOwned(src)
-	if dst.Rows != src.rows || dst.Cols != src.cols {
-		panic(fmt.Sprintf("gpu: GetMatrix dimension mismatch: host destination is %dx%d but device matrix is %dx%d", dst.Rows, dst.Cols, src.rows, src.cols))
-	}
-	dst.CopyFrom(src.m)
-	d.chargeTransfer(int64(src.rows) * int64(src.cols) * 8)
-	check.Finite("gpu.GetMatrix", dst)
-}
+// AllocBytes returns the bytes currently allocated on the device.
+func (d *Device) AllocBytes() int64 { return atomic.LoadInt64(&d.allocBytes) }
+
+// MaxAllocBytes returns the high-water allocation mark — the modeled
+// device memory footprint.
+func (d *Device) MaxAllocBytes() int64 { return atomic.LoadInt64(&d.maxAllocBytes) }
+
+// SetMatrix copies a host matrix to the device (cublasSetMatrix) on the
+// default stream.
+func (d *Device) SetMatrix(dst *Matrix, src *mat.Dense) { d.s0.SetMatrix(dst, src) }
+
+// GetMatrix copies a device matrix back to the host (cublasGetMatrix) on
+// the default stream.
+func (d *Device) GetMatrix(dst *mat.Dense, src *Matrix) { d.s0.GetMatrix(dst, src) }
 
 // SetVector uploads a host vector (cublasSetVector), e.g. the V_l diagonal.
-func (d *Device) SetVector(dst *Matrix, src []float64) {
-	d.checkOwned(dst)
-	if dst.cols != 1 || dst.rows != len(src) {
-		panic(fmt.Sprintf("gpu: SetVector dimension mismatch: device vector is %dx%d but len(src)=%d", dst.rows, dst.cols, len(src)))
-	}
-	copy(dst.m.Col(0), src)
-	d.chargeTransfer(int64(len(src)) * 8)
-}
+func (d *Device) SetVector(dst *Matrix, src []float64) { d.s0.SetVector(dst, src) }
 
 // Dgemm computes C = alpha*op(A)*op(B) + beta*C on the device.
 func (d *Device) Dgemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
-	d.checkOwned(a)
-	d.checkOwned(b)
-	d.checkOwned(c)
-	defer d.trackReal()()
-	blas.Gemm(transA, transB, alpha, a.m, b.m, beta, c.m)
-	m, k := a.rows, a.cols
-	if transA {
-		m, k = k, m
-	}
-	d.chargeKernel(blas.GemmFlops(m, c.cols, k), 0)
+	d.s0.Dgemm(transA, transB, alpha, a, b, beta, c)
 }
 
 // Dcopy copies src into dst on the device.
-func (d *Device) Dcopy(dst, src *Matrix) {
-	d.checkOwned(dst)
-	d.checkOwned(src)
-	dst.m.CopyFrom(src.m)
-	d.chargeKernel(0, 16*float64(src.rows)*float64(src.cols))
-}
+func (d *Device) Dcopy(dst, src *Matrix) { d.s0.Dcopy(dst, src) }
 
-// ScaleRows is the paper's Algorithm 5 CUDA kernel: dst = diag(v) * src
-// with one thread per row, coalesced column-major accesses, and v cached
-// per thread. One launch, bandwidth bound (read + write of the matrix).
-func (d *Device) ScaleRows(dst, src *Matrix, v *Matrix) {
-	d.checkOwned(dst)
-	d.checkOwned(src)
-	d.checkOwned(v)
-	if v.cols != 1 || v.rows != src.rows || dst.rows != src.rows || dst.cols != src.cols {
-		panic(fmt.Sprintf("gpu: ScaleRows dimension mismatch: src is %dx%d, dst is %dx%d, v is %dx%d", src.rows, src.cols, dst.rows, dst.cols, v.rows, v.cols))
-	}
-	defer d.trackReal()()
-	vv := v.m.Col(0)
-	for j := 0; j < src.cols; j++ {
-		sc := src.m.Col(j)
-		dc := dst.m.Col(j)
-		for i := range sc {
-			dc[i] = vv[i] * sc[i]
-		}
-	}
-	d.chargeKernel(float64(src.rows)*float64(src.cols),
-		16*float64(src.rows)*float64(src.cols))
-}
+// ScaleRows is the paper's Algorithm 5 CUDA kernel: dst = diag(v) * src.
+func (d *Device) ScaleRows(dst, src *Matrix, v *Matrix) { d.s0.ScaleRows(dst, src, v) }
 
 // ScaleRowsCols is the paper's Algorithm 7 kernel:
-// G = diag(v) * G * diag(v)^{-1}, with the column factor read through the
-// texture cache. In-place, one launch.
-func (d *Device) ScaleRowsCols(g *Matrix, v *Matrix) {
-	d.checkOwned(g)
-	d.checkOwned(v)
-	if v.cols != 1 || v.rows != g.rows || g.rows != g.cols {
-		panic(fmt.Sprintf("gpu: ScaleRowsCols dimension mismatch: g is %dx%d, v is %dx%d", g.rows, g.cols, v.rows, v.cols))
-	}
-	defer d.trackReal()()
-	vv := v.m.Col(0)
-	for j := 0; j < g.cols; j++ {
-		col := g.m.Col(j)
-		inv := 1 / vv[j]
-		for i := range col {
-			col[i] *= vv[i] * inv
-		}
-	}
-	d.chargeKernel(2*float64(g.rows)*float64(g.cols),
-		16*float64(g.rows)*float64(g.cols))
-}
+// G = diag(v) * G * diag(v)^{-1}.
+func (d *Device) ScaleRowsCols(g *Matrix, v *Matrix) { d.s0.ScaleRowsCols(g, v) }
 
 func (d *Device) checkOwned(a *Matrix) {
 	if a.dev != d {
+		if a.dev == nil {
+			panic("gpu: use of freed device matrix")
+		}
 		panic("gpu: matrix belongs to another device")
 	}
 }
 
-// trackReal measures the wall time the host spends executing a simulated
-// kernel, so benchmark harnesses can subtract it when combining real host
-// time with the modeled device clock.
-func (d *Device) trackReal() func() {
-	start := time.Now()
-	return func() {
-		d.mu.Lock()
-		d.realTime += time.Since(start)
-		d.mu.Unlock()
+// Clock returns the modeled device time elapsed since the last Reset: the
+// lower-bound makespan over all command streams and both engines. A single
+// serialized stream reduces to the old global clock; concurrent streams
+// overlap, but can never beat the compute- or DMA-engine occupancy totals
+// (two streams issuing GEMMs still share one card's DGEMM throughput).
+func (d *Device) Clock() time.Duration {
+	max := atomic.LoadInt64(&d.busyNS)
+	if x := atomic.LoadInt64(&d.xferBusyNS); x > max {
+		max = x
 	}
+	d.mu.Lock()
+	for _, s := range d.streams {
+		if c := atomic.LoadInt64(&s.clockNS); c > max {
+			max = c
+		}
+	}
+	d.mu.Unlock()
+	return time.Duration(max)
 }
 
-// Clock returns the modeled device time elapsed since the last Reset.
-func (d *Device) Clock() time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.clock
+// BusyCompute returns the accumulated compute-engine occupancy.
+func (d *Device) BusyCompute() time.Duration { return time.Duration(atomic.LoadInt64(&d.busyNS)) }
+
+// BusyTransfer returns the accumulated DMA-engine occupancy.
+func (d *Device) BusyTransfer() time.Duration {
+	return time.Duration(atomic.LoadInt64(&d.xferBusyNS))
+}
+
+// LaunchOverhead returns the total fixed kernel-launch and transfer-latency
+// overhead charged since Reset — the quantity command-graph replay
+// amortizes away.
+func (d *Device) LaunchOverhead() time.Duration {
+	return time.Duration(atomic.LoadInt64(&d.launchNS))
 }
 
 // RealTime returns the wall time the host spent executing simulated device
 // kernels since the last Reset (transfer copies excluded; they stand in
 // for DMA).
-func (d *Device) RealTime() time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.realTime
-}
+func (d *Device) RealTime() time.Duration { return time.Duration(atomic.LoadInt64(&d.realNS)) }
 
 // Flops returns the floating-point operations charged since Reset.
-func (d *Device) Flops() float64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.flops
-}
+func (d *Device) Flops() float64 { return float64(atomic.LoadInt64(&d.flops)) }
 
 // Transferred returns host<->device bytes moved since Reset.
-func (d *Device) Transferred() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.transferred
-}
+func (d *Device) Transferred() int64 { return atomic.LoadInt64(&d.transferred) }
 
 // Kernels returns the number of kernel launches since Reset.
-func (d *Device) Kernels() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.kernels
-}
+func (d *Device) Kernels() int { return int(atomic.LoadInt64(&d.kernels)) }
 
 // GFlopsRate returns the achieved modeled throughput in GFlop/s.
 func (d *Device) GFlopsRate() float64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.clock == 0 {
+	c := d.Clock()
+	if c == 0 {
 		return 0
 	}
-	return d.flops / d.clock.Seconds() / 1e9
+	return d.Flops() / c.Seconds() / 1e9
 }
 
 // Reset zeroes the modeled clock and counters (allocations persist).
 func (d *Device) Reset() {
+	atomic.StoreInt64(&d.busyNS, 0)
+	atomic.StoreInt64(&d.xferBusyNS, 0)
+	atomic.StoreInt64(&d.launchNS, 0)
+	atomic.StoreInt64(&d.realNS, 0)
+	atomic.StoreInt64(&d.transferred, 0)
+	atomic.StoreInt64(&d.kernels, 0)
+	atomic.StoreInt64(&d.flops, 0)
 	d.mu.Lock()
-	d.clock = 0
-	d.realTime = 0
-	d.transferred = 0
-	d.flops = 0
-	d.kernels = 0
+	for _, s := range d.streams {
+		atomic.StoreInt64(&s.clockNS, 0)
+	}
 	d.mu.Unlock()
 }
 

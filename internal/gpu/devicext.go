@@ -22,7 +22,7 @@ func (d *Device) GetSub(dst *mat.Dense, src *Matrix, i, j int) {
 	d.checkOwned(src)
 	view := src.m.View(i, j, dst.Rows, dst.Cols)
 	dst.CopyFrom(view)
-	d.chargeTransfer(int64(dst.Rows) * int64(dst.Cols) * 8)
+	d.s0.chargeTransfer(int64(dst.Rows)*int64(dst.Cols)*8, true)
 }
 
 // SetSub uploads src into the (i, j)-anchored sub-matrix of dst.
@@ -30,7 +30,7 @@ func (d *Device) SetSub(dst *Matrix, i, j int, src *mat.Dense) {
 	d.checkOwned(dst)
 	view := dst.m.View(i, j, src.Rows, src.Cols)
 	view.CopyFrom(src)
-	d.chargeTransfer(int64(src.Rows) * int64(src.Cols) * 8)
+	d.s0.chargeTransfer(int64(src.Rows)*int64(src.Cols)*8, true)
 }
 
 // ScaleCols multiplies column j of a by v[j] (right diagonal scaling), a
@@ -41,7 +41,7 @@ func (d *Device) ScaleCols(a *Matrix, v *Matrix) {
 	if v.cols != 1 || v.rows != a.cols {
 		panic(fmt.Sprintf("gpu: ScaleCols dimension mismatch: a is %dx%d, v is %dx%d", a.rows, a.cols, v.rows, v.cols))
 	}
-	defer d.trackReal()()
+	defer d.s0.trackReal()()
 	vv := v.m.Col(0)
 	for j := 0; j < a.cols; j++ {
 		col := a.m.Col(j)
@@ -50,7 +50,7 @@ func (d *Device) ScaleCols(a *Matrix, v *Matrix) {
 			col[i] *= s
 		}
 	}
-	d.chargeKernel(float64(a.rows)*float64(a.cols), 16*float64(a.rows)*float64(a.cols))
+	d.s0.chargeKernel(float64(a.rows)*float64(a.cols), 16*float64(a.rows)*float64(a.cols), true)
 }
 
 // ColumnNorms computes the Euclidean norm of every column on the device
@@ -61,7 +61,7 @@ func (d *Device) ColumnNorms(a *Matrix, dst []float64) {
 	if len(dst) != a.cols {
 		panic(fmt.Sprintf("gpu: ColumnNorms length mismatch: a has %d cols but len(dst)=%d", a.cols, len(dst)))
 	}
-	defer d.trackReal()()
+	defer d.s0.trackReal()()
 	for j := 0; j < a.cols; j++ {
 		var scale, ssq float64 = 0, 1
 		for _, x := range a.m.Col(j) {
@@ -80,8 +80,8 @@ func (d *Device) ColumnNorms(a *Matrix, dst []float64) {
 		}
 		dst[j] = scale * math.Sqrt(ssq)
 	}
-	d.chargeKernel(2*float64(a.rows)*float64(a.cols), 8*float64(a.rows)*float64(a.cols))
-	d.chargeTransfer(int64(a.cols) * 8)
+	d.s0.chargeKernel(2*float64(a.rows)*float64(a.cols), 8*float64(a.rows)*float64(a.cols), true)
+	d.s0.chargeTransfer(int64(a.cols)*8, true)
 }
 
 // PermuteCols gathers columns of a by perm in place (dst column j takes
@@ -91,14 +91,14 @@ func (d *Device) PermuteCols(a *Matrix, perm []int) {
 	if len(perm) != a.cols {
 		panic(fmt.Sprintf("gpu: PermuteCols length mismatch: a has %d cols but len(perm)=%d", a.cols, len(perm)))
 	}
-	defer d.trackReal()()
+	defer d.s0.trackReal()()
 	tmp := mat.New(a.rows, a.cols)
 	for j, p := range perm {
 		copy(tmp.Col(j), a.m.Col(p))
 	}
 	a.m.CopyFrom(tmp)
-	d.chargeTransfer(int64(len(perm)) * 8)
-	d.chargeKernel(0, 16*float64(a.rows)*float64(a.cols))
+	d.s0.chargeTransfer(int64(len(perm))*8, true)
+	d.s0.chargeKernel(0, 16*float64(a.rows)*float64(a.cols), true)
 }
 
 // SwapRows exchanges rows r1 and r2 of a over columns [c0, c1) — the
@@ -111,12 +111,12 @@ func (d *Device) SwapRows(a *Matrix, r1, r2, c0, c1 int) {
 	if r1 == r2 || c0 >= c1 {
 		return
 	}
-	defer d.trackReal()()
+	defer d.s0.trackReal()()
 	for c := c0; c < c1; c++ {
 		col := a.m.Col(c)
 		col[r1], col[r2] = col[r2], col[r1]
 	}
-	d.chargeKernel(0, 32*float64(c1-c0))
+	d.s0.chargeKernel(0, 32*float64(c1-c0), true)
 }
 
 // Axpy computes dst += alpha * src element-wise on the device.
@@ -126,7 +126,7 @@ func (d *Device) Axpy(alpha float64, src, dst *Matrix) {
 	if src.rows != dst.rows || src.cols != dst.cols {
 		panic(fmt.Sprintf("gpu: Axpy dimension mismatch: src is %dx%d but dst is %dx%d", src.rows, src.cols, dst.rows, dst.cols))
 	}
-	defer d.trackReal()()
+	defer d.s0.trackReal()()
 	for j := 0; j < src.cols; j++ {
 		sc := src.m.Col(j)
 		dc := dst.m.Col(j)
@@ -134,6 +134,6 @@ func (d *Device) Axpy(alpha float64, src, dst *Matrix) {
 			dc[i] += alpha * sc[i]
 		}
 	}
-	d.chargeKernel(2*float64(src.rows)*float64(src.cols),
-		24*float64(src.rows)*float64(src.cols))
+	d.s0.chargeKernel(2*float64(src.rows)*float64(src.cols),
+		24*float64(src.rows)*float64(src.cols), true)
 }

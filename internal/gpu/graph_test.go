@@ -1,0 +1,207 @@
+package gpu
+
+import (
+	"testing"
+
+	"questgo/internal/hubbard"
+	"questgo/internal/mat"
+	"questgo/internal/rng"
+)
+
+// TestGraphReplayBitwiseIdentical checks the tentpole's cardinal rule:
+// capturing the wrap and cluster sequences into command graphs and
+// replaying them produces bit-for-bit the numbers of the ungraphed path —
+// graphs move modeled time, never results.
+func TestGraphReplayBitwiseIdentical(t *testing.T) {
+	p, f := testSetup(t, 3, 3, 4, 2, 8, 21)
+	n := p.Model.N()
+	run := func(graphs bool) (*mat.Dense, *mat.Dense, *mat.Dense) {
+		dev := NewDevice(TeslaC2050())
+		acc := NewAccelerator(dev, p)
+		acc.EnableGraphs(graphs)
+		g := randomDense(rng.New(9), n)
+		for l := 0; l < p.Model.L; l++ {
+			acc.Wrap(g, f, hubbard.Up, l)
+		}
+		c0, c1 := mat.New(n, n), mat.New(n, n)
+		acc.Cluster(c0, f, hubbard.Up, 0, 4)
+		acc.Cluster(c1, f, hubbard.Up, 4, 4)
+		return g, c0, c1
+	}
+	gOff, c0Off, c1Off := run(false)
+	gOn, c0On, c1On := run(true)
+	if !gOn.EqualApprox(gOff, 0) {
+		t.Fatal("graph-replayed wraps changed the Green's function")
+	}
+	if !c0On.EqualApprox(c0Off, 0) || !c1On.EqualApprox(c1Off, 0) {
+		t.Fatal("graph-replayed cluster build changed the product")
+	}
+}
+
+// TestGraphLaunchAmortization pins the modeled effect the graphs exist
+// for: replaying the recorded wrap/cluster sequences must remove at least
+// 90% of the per-launch and per-transfer-latency overhead (one launch per
+// replay instead of one per kernel and per transaction).
+func TestGraphLaunchAmortization(t *testing.T) {
+	p, f := testSetup(t, 3, 3, 4, 2, 8, 23)
+	n := p.Model.N()
+	run := func(graphs bool) int64 {
+		dev := NewDevice(TeslaC2050())
+		acc := NewAccelerator(dev, p)
+		acc.EnableGraphs(graphs)
+		g := randomDense(rng.New(9), n)
+		dev.Reset() // exclude the one-time B upload
+		for l := 0; l < p.Model.L; l++ {
+			acc.Wrap(g, f, hubbard.Up, l)
+		}
+		c := mat.New(n, n)
+		acc.Cluster(c, f, hubbard.Up, 0, 4)
+		acc.Cluster(c, f, hubbard.Up, 4, 4)
+		return int64(dev.LaunchOverhead())
+	}
+	off := run(false)
+	on := run(true)
+	if on <= 0 || off <= 0 {
+		t.Fatalf("launch overhead not charged: off=%d on=%d", off, on)
+	}
+	if on*10 > off {
+		t.Fatalf("graph replay kept %.1f%% of launch overhead, want <= 10%% (off %dns, on %dns)",
+			100*float64(on)/float64(off), off, on)
+	}
+}
+
+// TestGraphRebind captures a transfer+GEMM+download sequence once and
+// retargets its host and device operands across replays.
+func TestGraphRebind(t *testing.T) {
+	d := NewDevice(TeslaC2050())
+	s := d.NewStream()
+	n := 8
+	da, db := d.Malloc(n, n), d.Malloc(n, n)
+	h1 := randomDense(rng.New(4), n)
+	out1 := mat.New(n, n)
+
+	g := d.NewGraph()
+	g.Capture(func() {
+		s.SetMatrix(da, h1)
+		s.Dgemm(false, false, 1, da, da, 0, db)
+		s.GetMatrix(out1, db)
+	}, s)
+	if g.Len() != 3 {
+		t.Fatalf("captured %d nodes, want 3", g.Len())
+	}
+	if out1.EqualApprox(square(h1), 0) {
+		t.Fatal("capture must not execute")
+	}
+	g.Replay()
+	if !out1.EqualApprox(square(h1), 0) {
+		t.Fatal("first replay wrong")
+	}
+
+	// Rebind the upload source and the download destination, replay again.
+	h2 := randomDense(rng.New(5), n)
+	out2 := mat.New(n, n)
+	if got := g.RebindHost(h1, h2); got != 1 {
+		t.Fatalf("RebindHost(h1) rebound %d nodes, want 1", got)
+	}
+	if got := g.RebindHost(out1, out2); got != 1 {
+		t.Fatalf("RebindHost(out1) rebound %d nodes, want 1", got)
+	}
+	g.Replay()
+	if !out2.EqualApprox(square(h2), 0) {
+		t.Fatal("replay after host rebind wrong")
+	}
+
+	// Rebind the device accumulator: db appears as GEMM destination and
+	// download source.
+	dc := d.Malloc(n, n)
+	if got := g.RebindDevice(db, dc); got != 2 {
+		t.Fatalf("RebindDevice rebound %d operand slots, want 2", got)
+	}
+	out2.Scale(0)
+	g.Replay()
+	if !out2.EqualApprox(square(h2), 0) {
+		t.Fatal("replay after device rebind wrong")
+	}
+}
+
+// square returns h*h on the host, the reference for the graph GEMM.
+func square(h *mat.Dense) *mat.Dense {
+	n := h.Rows
+	out := mat.New(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += h.At(i, k) * h.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// TestGraphRebindShapeMismatchPanics checks the rebinding guards.
+func TestGraphRebindShapeMismatchPanics(t *testing.T) {
+	d := NewDevice(TeslaC2050())
+	s := d.NewStream()
+	da := d.Malloc(4, 4)
+	h := mat.New(4, 4)
+	g := d.NewGraph()
+	g.Capture(func() { s.SetMatrix(da, h) }, s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape-mismatched rebind")
+		}
+	}()
+	g.RebindHost(h, mat.New(4, 5))
+}
+
+// TestGraphEmptyReplayPanics: replaying before capturing is a bug.
+func TestGraphEmptyReplayPanics(t *testing.T) {
+	d := NewDevice(TeslaC2050())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty replay")
+		}
+	}()
+	d.NewGraph().Replay()
+}
+
+// TestGraphCaptureForeignStreamPanics: a graph records streams of its own
+// device only.
+func TestGraphCaptureForeignStreamPanics(t *testing.T) {
+	d1 := NewDevice(TeslaC2050())
+	d2 := NewDevice(TeslaC2050())
+	s2 := d2.NewStream()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on cross-device capture")
+		}
+	}()
+	d1.NewGraph().Capture(func() {}, s2)
+}
+
+// TestGraphReplayChargesOneLaunch pins the replay cost model exactly: a
+// replayed k-node graph charges the kernel work plus a single launch.
+func TestGraphReplayChargesOneLaunch(t *testing.T) {
+	d := NewDevice(TeslaC2050())
+	s := d.NewStream()
+	n := 16
+	da, db, dc := d.Malloc(n, n), d.Malloc(n, n), d.Malloc(n, n)
+	g := d.NewGraph()
+	g.Capture(func() {
+		s.Dgemm(false, false, 1, da, db, 0, dc)
+		s.Dgemm(false, false, 1, da, dc, 0, db)
+		s.Dgemm(false, false, 1, da, db, 0, dc)
+	}, s)
+	d.Reset()
+	g.Replay()
+	launch := int64(d.LaunchOverhead())
+	want := int64(d.Model().KernelLaunch)
+	if launch != want {
+		t.Fatalf("replay charged %dns launch overhead, want exactly one launch (%dns)", launch, want)
+	}
+	if d.Kernels() != 3 {
+		t.Fatalf("replay ran %d kernels, want 3", d.Kernels())
+	}
+}

@@ -238,6 +238,13 @@ func GreenFromUDTHybrid(dev *Device, u *greens.UDT) *mat.Dense {
 	lu.Solve(rhs)
 	out := mat.New(n, n)
 	dev.GetMatrix(out, rhs)
+	dqt.Free()
+	vb.Free()
+	dqtScaled.Free()
+	dt.Free()
+	vs.Free()
+	m.Free()
+	rhs.Free()
 	return out
 }
 

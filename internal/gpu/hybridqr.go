@@ -70,7 +70,9 @@ func QRFactorHybrid(dev *Device, a *Matrix) *HybridQR {
 }
 
 // applyPanelDevice applies (I - V op(T) V^T) to the device sub-matrix
-// A[rowStart:, colStart:colStart+cols) with three device GEMMs.
+// A[rowStart:, colStart:colStart+cols) with three device GEMMs. The V/T/W
+// scratch is freed before returning so repeated factorizations hold the
+// device footprint steady.
 func (h *HybridQR) applyPanelDevice(p *lapack.Panel, rowStart, colStart, cols int, trans bool) {
 	dev := h.dev
 	rows := h.m - rowStart
@@ -85,6 +87,10 @@ func (h *HybridQR) applyPanelDevice(p *lapack.Panel, rowStart, colStart, cols in
 	dev.Dgemm(true, false, 1, dv, sub, 0, w)    // W = V^T C
 	dev.Dgemm(trans, false, 1, dt, w, 0, w2)    // W2 = op(T) W
 	dev.Dgemm(false, false, -1, dv, w2, 1, sub) // C -= V W2
+	dv.Free()
+	dt.Free()
+	w.Free()
+	w2.Free()
 }
 
 // R extracts the upper triangular factor to the host.
@@ -121,7 +127,7 @@ func (h *HybridQR) FormQDevice(q *Matrix) {
 }
 
 // applyPanelColsDevice applies (I - V T V^T) to rows [rowStart, m) of the
-// full-width device matrix q.
+// full-width device matrix q, freeing its scratch like applyPanelDevice.
 func (h *HybridQR) applyPanelColsDevice(p *lapack.Panel, rowStart int, q *Matrix) {
 	dev := h.dev
 	rows := h.m - rowStart
@@ -136,6 +142,10 @@ func (h *HybridQR) applyPanelColsDevice(p *lapack.Panel, rowStart int, q *Matrix
 	dev.Dgemm(true, false, 1, dv, sub, 0, w)
 	dev.Dgemm(false, false, 1, dt, w, 0, w2)
 	dev.Dgemm(false, false, -1, dv, w2, 1, sub)
+	dv.Free()
+	dt.Free()
+	w.Free()
+	w2.Free()
 }
 
 // StratifyHybrid runs Algorithm 3 with the chain products, trailing
@@ -144,6 +154,29 @@ func (h *HybridQR) applyPanelColsDevice(p *lapack.Panel, rowStart int, q *Matrix
 // on the host. Input chain as for greens.StratifyPrePivot (application
 // order); returns the UDT on the host.
 func StratifyHybrid(dev *Device, chain []*mat.Dense) *greens.UDT {
+	return stratifyHybridOn(nil, nil, dev, chain)
+}
+
+// StratifyHybridSharded walks the stratification chain across the devices
+// that own each cluster block (per-slice-block sharding): step i runs on
+// the device that built chain element i, and the running Q factor crosses
+// the inter-device link whenever ownership changes. The arithmetic — and
+// therefore the result — is bitwise identical to StratifyHybrid on one
+// device; only the modeled charges move.
+func StratifyHybridSharded(g *Group, cs *ClusterSet, boundary int) *greens.UDT {
+	chain := cs.Chain(boundary)
+	devs := make([]*Device, len(chain))
+	for i := range chain {
+		devs[i] = cs.AccFor((boundary + i) % cs.NC).Dev
+	}
+	return stratifyHybridOn(g, devs, devs[0], chain)
+}
+
+// stratifyHybridOn is the shared implementation: devs[i] (when non-nil)
+// names the device executing chain step i, dev0 the device of the first
+// factorization. All device scratch is freed on exit, so the footprint is
+// steady across refreshes.
+func stratifyHybridOn(g *Group, devs []*Device, dev0 *Device, chain []*mat.Dense) *greens.UDT {
 	if len(chain) == 0 {
 		panic("gpu: empty chain")
 	}
@@ -170,17 +203,40 @@ func StratifyHybrid(dev *Device, chain []*mat.Dense) *greens.UDT {
 	qrp.Release()
 	lapack.PutPivot(&jpvt)
 
+	dev := dev0
 	dq := dev.Malloc(n, n)
 	dev.SetMatrix(dq, qHost)
 	dc := dev.Malloc(n, n)
 	db := dev.Malloc(n, n)
 	dvec := dev.Malloc(n, 1)
+	dtm := dev.Malloc(n, n)
+	dres := dev.Malloc(n, n)
 	tHost := t
 	perm := make([]int, n)
 	norms := make([]float64, n)
 	tTmp := mat.New(n, n)
 
 	for i := 1; i < len(chain); i++ {
+		if devs != nil && devs[i] != dev {
+			// The running Q migrates to the device owning this cluster
+			// block over the peer link; the per-device scratch follows.
+			next := devs[i]
+			nq := next.Malloc(n, n)
+			g.PeerCopy(nq, dq)
+			dq.Free()
+			dc.Free()
+			db.Free()
+			dvec.Free()
+			dtm.Free()
+			dres.Free()
+			dev = next
+			dq = nq
+			dc = dev.Malloc(n, n)
+			db = dev.Malloc(n, n)
+			dvec = dev.Malloc(n, 1)
+			dtm = dev.Malloc(n, n)
+			dres = dev.Malloc(n, n)
+		}
 		// C = (B_i * Q) * D on the device.
 		dev.SetMatrix(db, chain[i])
 		dev.Dgemm(false, false, 1, db, dq, 0, dc)
@@ -201,9 +257,7 @@ func StratifyHybrid(dev *Device, chain []*mat.Dense) *greens.UDT {
 		// T update on the device: T = (D^{-1} R) (P^T T).
 		permuteRowsHost(tTmp, tHost, perm)
 		dev.SetMatrix(db, rr)
-		dtm := dev.Malloc(n, n)
 		dev.SetMatrix(dtm, tTmp)
-		dres := dev.Malloc(n, n)
 		dev.Dgemm(false, false, 1, db, dtm, 0, dres)
 		dev.GetMatrix(tHost, dres)
 		// Q for the next step.
@@ -211,6 +265,12 @@ func StratifyHybrid(dev *Device, chain []*mat.Dense) *greens.UDT {
 	}
 	qOut := mat.New(n, n)
 	dev.GetMatrix(qOut, dq)
+	dq.Free()
+	dc.Free()
+	db.Free()
+	dvec.Free()
+	dtm.Free()
+	dres.Free()
 	return &greens.UDT{Q: qOut, D: d, T: tHost}
 }
 

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"fmt"
+
 	"questgo/internal/greens"
 	"questgo/internal/hubbard"
 	"questgo/internal/mat"
@@ -12,33 +13,100 @@ import (
 // the fixed kinetic propagators B and B^{-1} are uploaded once at the start
 // of the simulation (the paper notes this amortization explicitly), and
 // scratch matrices are reused across calls.
+//
+// Work is issued on two streams — a compute stream for the GEMMs and
+// scaling kernels and a copy stream for host<->device traffic — with Event
+// dependencies expressing the real dataflow, so the modeled clock overlaps
+// the next diagonal upload with the current GEMM (double-buffered V
+// vectors, the cp.async pipeline idiom). With EnableGraphs the wrap and
+// cluster launch sequences are captured once into command graphs and
+// replayed for a single launch overhead; host nodes re-read the call
+// parameters (field, slice, base) on every replay and the host operand is
+// rebound when the destination changes, so one recording serves the whole
+// sweep.
 type Accelerator struct {
 	Dev  *Device
 	prop *hubbard.Propagator
 
+	comp, xfer *Stream
+
 	bKin, bInv *Matrix
-	t, a, g    *Matrix // scratch
-	v          *Matrix // diagonal vector
-	hostV      []float64
+	t, a, g    *Matrix    // scratch
+	v          [2]*Matrix // double-buffered diagonal vectors
+	hostV      [2][]float64
+
+	gUp, compDone *Event
+	up, consumed  [2]*Event
+
+	// Replay parameters: the wrap/cluster host nodes read these fields at
+	// execution time, so a captured graph follows the live sweep state.
+	wp struct {
+		f     *hubbard.Field
+		sigma hubbard.Spin
+		l     int
+	}
+	cp struct {
+		f     *hubbard.Field
+		sigma hubbard.Spin
+		base  int
+	}
+	wrapVFn func()
+
+	graphs    bool
+	wrapGraph *Graph
+	wrapBound *mat.Dense // host G the wrap graph transfers are bound to
+	clGraph   *Graph
+	clK       int
+	clBound   *mat.Dense // host destination the cluster graph downloads to
 }
 
 // NewAccelerator uploads the kinetic propagators and allocates scratch.
 func NewAccelerator(dev *Device, prop *hubbard.Propagator) *Accelerator {
 	n := prop.Model.N()
 	acc := &Accelerator{
-		Dev:   dev,
-		prop:  prop,
-		bKin:  dev.Malloc(n, n),
-		bInv:  dev.Malloc(n, n),
-		t:     dev.Malloc(n, n),
-		a:     dev.Malloc(n, n),
-		g:     dev.Malloc(n, n),
-		v:     dev.Malloc(n, 1),
-		hostV: make([]float64, n),
+		Dev:      dev,
+		prop:     prop,
+		comp:     dev.NewStream(),
+		xfer:     dev.NewStream(),
+		bKin:     dev.Malloc(n, n),
+		bInv:     dev.Malloc(n, n),
+		t:        dev.Malloc(n, n),
+		a:        dev.Malloc(n, n),
+		g:        dev.Malloc(n, n),
+		gUp:      NewEvent(),
+		compDone: NewEvent(),
 	}
-	dev.SetMatrix(acc.bKin, prop.Bkin)
-	dev.SetMatrix(acc.bInv, prop.Binv)
+	for i := range acc.v {
+		acc.v[i] = dev.Malloc(n, 1)
+		acc.hostV[i] = make([]float64, n)
+		acc.up[i] = NewEvent()
+		acc.consumed[i] = NewEvent()
+	}
+	acc.wrapVFn = func() { acc.prop.VDiag(acc.wp.sigma, acc.wp.f, acc.wp.l, acc.hostV[0]) }
+	acc.comp.SetMatrix(acc.bKin, prop.Bkin)
+	acc.comp.SetMatrix(acc.bInv, prop.Binv)
 	return acc
+}
+
+// EnableGraphs switches command-graph capture/replay of the wrap and
+// cluster sequences on or off. Turning it on (or off) never changes the
+// numbers — only whether the launch overhead is paid per kernel or per
+// recorded sequence.
+func (acc *Accelerator) EnableGraphs(on bool) {
+	acc.graphs = on
+	if !on {
+		acc.InvalidateGraphs()
+	}
+}
+
+// InvalidateGraphs drops the captured graphs (required after a cluster-size
+// change; the next call re-captures).
+func (acc *Accelerator) InvalidateGraphs() {
+	acc.wrapGraph = nil
+	acc.wrapBound = nil
+	acc.clGraph = nil
+	acc.clBound = nil
+	acc.clK = 0
 }
 
 // Cluster computes the matrix cluster
@@ -47,60 +115,141 @@ func NewAccelerator(dev *Device, prop *hubbard.Propagator) *Accelerator {
 //
 // on the device (the paper's Algorithm 4, using the Algorithm 5 row-scaling
 // kernel instead of per-row Dscal calls) and stores the result into dst on
-// the host. Only the k diagonal V_l vectors and the result cross the bus.
+// the host. Only the k diagonal V_l vectors and the result cross the bus,
+// and the upload of V_{l+1} overlaps the GEMM absorbing B_l (double
+// buffering on the copy stream).
 func (acc *Accelerator) Cluster(dst *mat.Dense, f *hubbard.Field, sigma hubbard.Spin, base, k int) {
-	dev := acc.Dev
-	// A = V_base * B
-	acc.prop.VDiag(sigma, f, base, acc.hostV)
-	dev.SetVector(acc.v, acc.hostV)
-	dev.ScaleRows(acc.a, acc.bKin, acc.v)
-	for j := 1; j < k; j++ {
-		// T = B * A; A = V_{base+j} * T
-		dev.Dgemm(false, false, 1, acc.bKin, acc.a, 0, acc.t)
-		acc.prop.VDiag(sigma, f, base+j, acc.hostV)
-		dev.SetVector(acc.v, acc.hostV)
-		dev.ScaleRows(acc.a, acc.t, acc.v)
+	acc.cp.f, acc.cp.sigma, acc.cp.base = f, sigma, base
+	if acc.graphs {
+		if acc.clGraph == nil || acc.clK != k {
+			acc.captureCluster(dst, k)
+		} else if acc.clBound != dst {
+			acc.clGraph.RebindHost(acc.clBound, dst)
+			acc.clBound = dst
+		}
+		acc.clGraph.Replay()
+		return
 	}
-	dev.GetMatrix(dst, acc.a)
+	acc.issueCluster(dst, k)
+}
+
+// issueCluster emits the cluster pipeline on the two streams (directly, or
+// into a capturing graph). The host VDiag nodes read acc.cp at execution
+// time and each captures only its slice offset j, so a recorded graph
+// re-parameterizes per replay.
+func (acc *Accelerator) issueCluster(dst *mat.Dense, k int) {
+	for j := 0; j < k; j++ {
+		j := j
+		buf := j & 1
+		if j >= 2 {
+			// The buffer is reused from iteration j-2: its upload must not
+			// start before the compute stream consumed it.
+			acc.xfer.Wait(acc.consumed[buf])
+		}
+		acc.xfer.Host(func() { acc.prop.VDiag(acc.cp.sigma, acc.cp.f, acc.cp.base+j, acc.hostV[buf]) })
+		acc.xfer.SetVector(acc.v[buf], acc.hostV[buf])
+		acc.xfer.Record(acc.up[buf])
+		acc.comp.Wait(acc.up[buf])
+		if j == 0 {
+			// A = V_base * B
+			acc.comp.ScaleRows(acc.a, acc.bKin, acc.v[buf])
+		} else {
+			// T = B * A; A = V_{base+j} * T
+			acc.comp.Dgemm(false, false, 1, acc.bKin, acc.a, 0, acc.t)
+			acc.comp.ScaleRows(acc.a, acc.t, acc.v[buf])
+		}
+		acc.comp.Record(acc.consumed[buf])
+	}
+	acc.comp.GetMatrix(dst, acc.a)
+}
+
+// captureCluster records the k-slice cluster pipeline into a command graph
+// bound to dst.
+func (acc *Accelerator) captureCluster(dst *mat.Dense, k int) {
+	acc.clGraph = acc.Dev.NewGraph()
+	acc.clK = k
+	acc.clBound = dst
+	acc.clGraph.Capture(func() { acc.issueCluster(dst, k) }, acc.comp, acc.xfer)
 }
 
 // Wrap advances the equal-time Green's function G <- B_l G B_l^{-1} on the
 // device (Algorithm 6, with the Algorithm 7 combined row/column scaling
 // kernel): upload G, two GEMMs against the resident propagators, one
-// scaling kernel, download G.
+// scaling kernel, download G. The V_l diagonal upload rides the copy
+// stream and overlaps the GEMMs.
 //
 //qmc:charges OpWraps
 //qmc:hot
 func (acc *Accelerator) Wrap(g *mat.Dense, f *hubbard.Field, sigma hubbard.Spin, l int) {
 	obs.Add(obs.OpWraps, 1)
-	dev := acc.Dev
-	dev.SetMatrix(acc.g, g)
-	dev.Dgemm(false, false, 1, acc.bKin, acc.g, 0, acc.t)
-	dev.Dgemm(false, false, 1, acc.t, acc.bInv, 0, acc.g)
-	acc.prop.VDiag(sigma, f, l, acc.hostV)
-	dev.SetVector(acc.v, acc.hostV)
-	dev.ScaleRowsCols(acc.g, acc.v)
-	dev.GetMatrix(g, acc.g)
+	acc.wp.f, acc.wp.sigma, acc.wp.l = f, sigma, l
+	if acc.graphs {
+		if acc.wrapGraph == nil {
+			acc.captureWrap(g)
+		} else if acc.wrapBound != g {
+			acc.wrapGraph.RebindHost(acc.wrapBound, g)
+			acc.wrapBound = g
+		}
+		acc.wrapGraph.Replay()
+		return
+	}
+	acc.issueWrap(g)
+}
+
+// issueWrap emits the wrap sequence on the two streams.
+func (acc *Accelerator) issueWrap(g *mat.Dense) {
+	acc.xfer.SetMatrix(acc.g, g)
+	acc.xfer.Record(acc.gUp)
+	acc.xfer.Host(acc.wrapVFn)
+	acc.xfer.SetVector(acc.v[0], acc.hostV[0])
+	acc.xfer.Record(acc.up[0])
+	acc.comp.Wait(acc.gUp)
+	acc.comp.Dgemm(false, false, 1, acc.bKin, acc.g, 0, acc.t)
+	acc.comp.Dgemm(false, false, 1, acc.t, acc.bInv, 0, acc.g)
+	acc.comp.Wait(acc.up[0])
+	acc.comp.ScaleRowsCols(acc.g, acc.v[0])
+	acc.comp.Record(acc.compDone)
+	acc.xfer.Wait(acc.compDone)
+	acc.xfer.GetMatrix(g, acc.g)
+}
+
+// captureWrap records the wrap sequence into a command graph bound to g.
+func (acc *Accelerator) captureWrap(g *mat.Dense) {
+	acc.wrapGraph = acc.Dev.NewGraph()
+	acc.wrapBound = g
+	acc.wrapGraph.Capture(func() { acc.issueWrap(g) }, acc.comp, acc.xfer)
 }
 
 // ClusterSet mirrors greens.ClusterSet but builds the cluster products on
 // the device; it satisfies the same recompute-on-change recycling contract.
+// With more than one accelerator the cluster blocks are dealt round-robin
+// (per-slice-block sharding): cluster c is built — and its slices wrapped
+// and flushed — on the device owning it.
 type ClusterSet struct {
 	K        int
 	NC       int
 	sigma    hubbard.Spin
-	acc      *Accelerator
+	accs     []*Accelerator
 	clusters []*mat.Dense
 }
 
-// NewClusterSet builds all clusters for one spin on the accelerator.
+// NewClusterSet builds all clusters for one spin on a single accelerator.
 func NewClusterSet(acc *Accelerator, f *hubbard.Field, sigma hubbard.Spin, k int) *ClusterSet {
-	l := acc.prop.Model.L
+	return NewClusterSetSharded([]*Accelerator{acc}, f, sigma, k)
+}
+
+// NewClusterSetSharded builds the clusters for one spin round-robin over a
+// pool of accelerators (one per device of the spin's scheduler pool).
+func NewClusterSetSharded(accs []*Accelerator, f *hubbard.Field, sigma hubbard.Spin, k int) *ClusterSet {
+	if len(accs) == 0 {
+		panic("gpu: cluster set needs at least one accelerator")
+	}
+	l := accs[0].prop.Model.L
 	if k < 1 || l%k != 0 {
 		panic(fmt.Sprintf("gpu: cluster size %d must divide the slice count %d", k, l))
 	}
-	n := acc.prop.Model.N()
-	cs := &ClusterSet{K: k, NC: l / k, sigma: sigma, acc: acc, clusters: make([]*mat.Dense, l/k)}
+	n := accs[0].prop.Model.N()
+	cs := &ClusterSet{K: k, NC: l / k, sigma: sigma, accs: accs, clusters: make([]*mat.Dense, l/k)}
 	for c := range cs.clusters {
 		cs.clusters[c] = mat.New(n, n)
 		cs.Recompute(f, c)
@@ -108,9 +257,12 @@ func NewClusterSet(acc *Accelerator, f *hubbard.Field, sigma hubbard.Spin, k int
 	return cs
 }
 
-// Recompute rebuilds cluster c on the device.
+// AccFor returns the accelerator owning cluster block c.
+func (cs *ClusterSet) AccFor(c int) *Accelerator { return cs.accs[c%len(cs.accs)] }
+
+// Recompute rebuilds cluster c on its owning device.
 func (cs *ClusterSet) Recompute(f *hubbard.Field, c int) {
-	cs.acc.Cluster(cs.clusters[c], f, cs.sigma, c*cs.K, cs.K)
+	cs.AccFor(c).Cluster(cs.clusters[c], f, cs.sigma, c*cs.K, cs.K)
 }
 
 // Cluster returns the host copy of cluster c.

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"questgo/internal/check"
 	"questgo/internal/greens"
 	"questgo/internal/hubbard"
 	"questgo/internal/mat"
@@ -21,22 +22,30 @@ import (
 // device-built clusters (one prefix extension per boundary instead of a
 // full chain re-stratification; SweeperOptions.NoStack restores the hybrid
 // full-rebuild reference), and the per-spin device phases run concurrently
-// through parallel.Pair — each spin owns an Accelerator, modeling two CUDA
-// streams sharing one card, with the Device clock mutex-serialized.
+// through parallel.Pair.
 //
-// It produces the same Markov chain as the CPU sweeper up to floating-
-// point reassociation in the stratified refreshes (the wrapping and
-// update arithmetic is identical); physical observables agree within
-// statistical errors, which the tests verify.
+// The sweeper runs over a Group of one or more simulated devices. With one
+// device, each spin owns an Accelerator — two stream pairs sharing one
+// card. With more, the Scheduler splits the devices between the spin
+// sectors (per-spin sharding) and each sector deals its cluster blocks
+// round-robin over its pool (per-slice-block sharding): the wraps and
+// flushes of a slice run on the device owning its cluster block, and the
+// NoStack stratification walks the chain across owners over the peer link.
+// Because every device executes the identical host arithmetic, the Markov
+// chain is bitwise independent of the device count and of command-graph
+// mode — sharding and graphs move modeled time, never numbers — which the
+// tests verify.
 type Sweeper struct {
 	Prop  *hubbard.Propagator
 	Field *hubbard.Field
 	Rng   *rng.Rand
 
-	dev      *Device
+	grp      *Group
 	clusterK int
 	delay    int
 	serial   bool
+	noStack  bool
+	graphs   bool
 	o        *obs.Collector
 
 	up, dn   *gpuSpin
@@ -57,36 +66,51 @@ type Sweeper struct {
 	facUp, facDn           float64
 	cluster                int
 	boundary               int
+
+	// boundaryHook, maxWrapDrift and the StabilityEvery pacing mirror
+	// update.Sweeper (the autopilot and the measurement loop drive both
+	// sweepers through the same surface).
+	boundaryHook   func()
+	maxWrapDrift   float64
+	stabilityEvery int
+	boundaries     int64
+	checkStrat     bool
 }
 
-// gpuSpin owns one spin sector's device session: its Accelerator (device
-// scratch must not be shared between concurrently running spins), cluster
-// set, stratification stack, Green's function, and delayed-update buffers.
+// gpuSpin owns one spin sector's device session: one Accelerator per
+// device of the sector's pool (device scratch must not be shared between
+// concurrently running spins), the sharded cluster set, stratification
+// stack, Green's function, and per-device delayed-update flush operands.
 type gpuSpin struct {
 	sigma hubbard.Spin
-	acc   *Accelerator
+	accs  []*Accelerator
 	cs    *ClusterSet
 	st    *greens.StratStack
 	g     *mat.Dense
 	u, w  *mat.Dense
 	m     int
-	// Device-resident flush operands, allocated once.
-	dg, du, dw *Matrix
+	// Device-resident flush operands, one set per accelerator, allocated
+	// once — the device footprint is steady across sweeps.
+	dg, du, dw []*Matrix
 }
 
-func newGpuSpin(dev *Device, p *hubbard.Propagator, f *hubbard.Field, sigma hubbard.Spin, k, nd int, noStack bool) *gpuSpin {
+func newGpuSpin(pool []*Device, p *hubbard.Propagator, f *hubbard.Field, sigma hubbard.Spin, k, nd int, noStack, graphs bool) *gpuSpin {
 	n := p.Model.N()
 	sp := &gpuSpin{
 		sigma: sigma,
-		acc:   NewAccelerator(dev, p),
 		g:     mat.New(n, n),
 		u:     mat.New(n, nd),
 		w:     mat.New(n, nd),
-		dg:    dev.Malloc(n, n),
-		du:    dev.Malloc(n, nd),
-		dw:    dev.Malloc(n, nd),
 	}
-	sp.cs = NewClusterSet(sp.acc, f, sigma, k)
+	for _, dev := range pool {
+		acc := NewAccelerator(dev, p)
+		acc.EnableGraphs(graphs)
+		sp.accs = append(sp.accs, acc)
+		sp.dg = append(sp.dg, dev.Malloc(n, n))
+		sp.du = append(sp.du, dev.Malloc(n, nd))
+		sp.dw = append(sp.dw, dev.Malloc(n, nd))
+	}
+	sp.cs = NewClusterSetSharded(sp.accs, f, sigma, k)
 	if !noStack {
 		sp.st = greens.NewStratStack(sp.cs, true)
 	}
@@ -129,37 +153,29 @@ func (sp *gpuSpin) push(i int, factor float64) {
 	sp.m++
 }
 
-// flush applies the pending block update G += U*W^T with a *device* GEMM —
-// on real hardware this is where the delayed-update trick pays off most,
-// since the rank-nd updates are pure DGEMM.
+// flush applies the pending block update G += U*W^T with a *device* GEMM
+// on the accelerator indexed ai (the owner of the current slice's cluster
+// block) — on real hardware this is where the delayed-update trick pays
+// off most, since the rank-nd updates are pure DGEMM.
 //
 //qmc:charges OpDelayedFlushes
 //qmc:hot
-func (sp *gpuSpin) flush(dev *Device) {
+func (sp *gpuSpin) flush(ai int) {
 	if sp.m == 0 {
 		return
 	}
 	obs.Add(obs.OpDelayedFlushes, 1)
 	n := sp.g.Rows
-	dev.SetMatrix(sp.dg, sp.g)
-	duV := sp.du.Sub(0, 0, n, sp.m)
-	dwV := sp.dw.Sub(0, 0, n, sp.m)
+	dev := sp.accs[ai].Dev
+	dg, du, dw := sp.dg[ai], sp.du[ai], sp.dw[ai]
+	dev.SetMatrix(dg, sp.g)
+	duV := du.Sub(0, 0, n, sp.m)
+	dwV := dw.Sub(0, 0, n, sp.m)
 	dev.SetMatrix(duV, sp.u.View(0, 0, n, sp.m))
 	dev.SetMatrix(dwV, sp.w.View(0, 0, n, sp.m))
-	dev.Dgemm(false, true, 1, duV, dwV, 1, sp.dg)
-	dev.GetMatrix(sp.g, sp.dg)
+	dev.Dgemm(false, true, 1, duV, dwV, 1, dg)
+	dev.GetMatrix(sp.g, dg)
 	sp.m = 0
-}
-
-// refresh recomputes the spin's Green's function at the given boundary:
-// through the stratification stack when enabled, otherwise by the hybrid
-// full-chain rebuild (StratifyHybrid + GreenFromUDTHybrid).
-func (sp *gpuSpin) refresh(dev *Device, boundary int) {
-	if sp.st != nil {
-		sp.st.GreenInto(sp.g)
-		return
-	}
-	sp.g.CopyFrom(GreenFromUDTHybrid(dev, StratifyHybrid(dev, sp.cs.Chain(boundary))))
 }
 
 // SweeperOptions configures the hybrid sweeper.
@@ -168,19 +184,36 @@ type SweeperOptions struct {
 	Delay    int
 	// NoStack disables the prefix/suffix UDT stack and refreshes by full
 	// hybrid re-stratification of the cluster chain (the pre-stack
-	// reference path).
+	// reference path; sharded across the spin's pool when it has more than
+	// one device).
 	NoStack bool
 	// SerialSpins disables the concurrent up/down device phases.
 	SerialSpins bool
+	// UseGraphs captures the wrap and cluster launch sequences into device
+	// command graphs and replays them for a single launch overhead per
+	// call. Purely a modeled-time optimization: the arithmetic — and the
+	// Markov chain — is identical either way.
+	UseGraphs bool
 	// Obs, when non-nil, receives per-phase timings, operation counts and
 	// stability telemetry (nil costs nothing).
 	Obs *obs.Collector
+	// StabilityEvery, when positive and Obs is enabled, compares the
+	// stack-refreshed Green's function against a full stratified rebuild
+	// every StabilityEvery cluster boundaries and records the relative
+	// residual (see update.Options.StabilityEvery).
+	StabilityEvery int
 }
 
-// NewSweeper builds the device cluster sets and the initial Green's
-// functions through the stratification stack (or the hybrid rebuild when
-// NoStack is set).
+// NewSweeper builds a single-device sweeper: the device cluster sets and
+// the initial Green's functions through the stratification stack (or the
+// hybrid rebuild when NoStack is set).
 func NewSweeper(dev *Device, p *hubbard.Propagator, f *hubbard.Field, r *rng.Rand, opts SweeperOptions) *Sweeper {
+	return NewGroupSweeper(GroupOf(dev), p, f, r, opts)
+}
+
+// NewGroupSweeper builds a sweeper over a device group, sharding the spin
+// sectors and their cluster blocks across the group's devices.
+func NewGroupSweeper(g *Group, p *hubbard.Propagator, f *hubbard.Field, r *rng.Rand, opts SweeperOptions) *Sweeper {
 	if opts.ClusterK < 1 {
 		opts.ClusterK = 10
 	}
@@ -194,34 +227,45 @@ func NewSweeper(dev *Device, p *hubbard.Propagator, f *hubbard.Field, r *rng.Ran
 	if opts.Delay > n {
 		opts.Delay = n
 	}
+	if opts.StabilityEvery < 0 {
+		opts.StabilityEvery = 0
+	}
 	sw := &Sweeper{
 		Prop: p, Field: f, Rng: r,
-		dev:      dev,
-		clusterK: opts.ClusterK,
-		delay:    opts.Delay,
-		serial:   opts.SerialSpins,
-		o:        opts.Obs,
-		sign:     1,
+		grp:            g,
+		clusterK:       opts.ClusterK,
+		delay:          opts.Delay,
+		serial:         opts.SerialSpins,
+		noStack:        opts.NoStack,
+		graphs:         opts.UseGraphs,
+		o:              opts.Obs,
+		stabilityEvery: opts.StabilityEvery,
+		sign:           1,
 	}
+	sched := Scheduler{G: g}
 	cstart := opts.Obs.Begin()
-	sw.up = newGpuSpin(dev, p, f, hubbard.Up, opts.ClusterK, opts.Delay, opts.NoStack)
-	sw.dn = newGpuSpin(dev, p, f, hubbard.Down, opts.ClusterK, opts.Delay, opts.NoStack)
+	sw.up = newGpuSpin(sched.SpinPool(hubbard.Up), p, f, hubbard.Up, opts.ClusterK, opts.Delay, opts.NoStack, opts.UseGraphs)
+	sw.dn = newGpuSpin(sched.SpinPool(hubbard.Down), p, f, hubbard.Down, opts.ClusterK, opts.Delay, opts.NoStack, opts.UseGraphs)
 	opts.Obs.End(obs.PhaseCluster, cstart)
 	if sw.up.st != nil {
 		sw.up.st.Obs = opts.Obs
 		sw.dn.st.Obs = opts.Obs
 	}
 
-	sw.wrapUpFn = func() { sw.up.acc.Wrap(sw.up.g, sw.Field, hubbard.Up, sw.wrapSlice) }
-	sw.wrapDnFn = func() { sw.dn.acc.Wrap(sw.dn.g, sw.Field, hubbard.Down, sw.wrapSlice) }
-	sw.flushUpFn = func() { sw.up.flush(sw.dev) }
-	sw.flushDnFn = func() { sw.dn.flush(sw.dev) }
+	sw.wrapUpFn = func() {
+		sw.up.cs.AccFor(sw.wrapSlice/sw.clusterK).Wrap(sw.up.g, sw.Field, hubbard.Up, sw.wrapSlice)
+	}
+	sw.wrapDnFn = func() {
+		sw.dn.cs.AccFor(sw.wrapSlice/sw.clusterK).Wrap(sw.dn.g, sw.Field, hubbard.Down, sw.wrapSlice)
+	}
+	sw.flushUpFn = func() { sw.up.flush((sw.wrapSlice / sw.clusterK) % len(sw.up.accs)) }
+	sw.flushDnFn = func() { sw.dn.flush((sw.wrapSlice / sw.clusterK) % len(sw.dn.accs)) }
 	sw.acceptUpFn = func() { sw.up.push(sw.flipSite, sw.facUp) }
 	sw.acceptDnFn = func() { sw.dn.push(sw.flipSite, sw.facDn) }
 	sw.clusterUpFn = func() { sw.up.cs.Recompute(sw.Field, sw.cluster) }
 	sw.clusterDn = func() { sw.dn.cs.Recompute(sw.Field, sw.cluster) }
-	sw.refreshUpFn = func() { sw.up.refresh(sw.dev, sw.boundary) }
-	sw.refreshDn = func() { sw.dn.refresh(sw.dev, sw.boundary) }
+	sw.refreshUpFn = func() { sw.refreshSpin(sw.up, true) }
+	sw.refreshDn = func() { sw.refreshSpin(sw.dn, false) }
 	if sw.up.st != nil {
 		sw.advanceUpFn = func() { sw.up.st.Advance() }
 		sw.advanceDn = func() { sw.dn.st.Advance() }
@@ -240,10 +284,46 @@ func (sw *Sweeper) fork(up, dn func()) {
 	parallel.Pair(up, dn)
 }
 
+// refreshSpin recomputes one spin's Green's function by stratification at
+// the current boundary and records the drift of the wrapped copy (spin-up
+// only, matching update.Sweeper's diagnostic).
+func (sw *Sweeper) refreshSpin(sp *gpuSpin, trackDrift bool) {
+	n := sp.g.Rows
+	gNew := mat.GetScratch(n, n)
+	if sp.st != nil {
+		sp.st.GreenInto(gNew)
+		if trackDrift && sw.checkStrat {
+			// Sampled stability check: the stack's amortized answer against
+			// a from-scratch host stratification of the same cluster chain.
+			sw.o.SampleStratResidual(mat.RelDiff(gNew, sp.cs.GreenAt(sw.boundary)))
+		}
+	} else if len(sp.accs) > 1 {
+		gNew.CopyFrom(GreenFromUDTHybrid(sp.accs[0].Dev, StratifyHybridSharded(sw.grp, sp.cs, sw.boundary)))
+	} else {
+		gNew.CopyFrom(GreenFromUDTHybrid(sp.accs[0].Dev, StratifyHybrid(sp.accs[0].Dev, sp.cs.Chain(sw.boundary))))
+	}
+	if trackDrift && sw.proposed > 0 {
+		d := mat.RelDiff(sp.g, gNew)
+		// Loose bound: wrap drift is expected and merely bounded; only a
+		// blow-up indicates a propagator or stratification bug.
+		check.Drift("gpu.refreshSpin wrap", d, 0.05)
+		if d > sw.maxWrapDrift {
+			sw.maxWrapDrift = d
+		}
+		sw.o.SampleWrapDrift(d)
+	}
+	sp.g.CopyFrom(gNew)
+	mat.PutScratch(gNew)
+}
+
 func (sw *Sweeper) refresh(c int) {
 	start := sw.o.Begin()
 	sw.boundary = c
+	sw.boundaries++
+	sw.checkStrat = sw.stabilityEvery > 0 && sw.o.Enabled() &&
+		sw.boundaries%int64(sw.stabilityEvery) == 0
 	sw.fork(sw.refreshUpFn, sw.refreshDn)
+	sw.checkStrat = false
 	sw.o.End(obs.PhaseRefresh, start)
 }
 
@@ -282,6 +362,9 @@ func (sw *Sweeper) Sweep() {
 				sw.o.End(obs.PhaseRefresh, sstart)
 			}
 			sw.refresh((c + 1) % sw.up.cs.NC)
+			if sw.boundaryHook != nil {
+				sw.boundaryHook()
+			}
 		}
 	}
 }
@@ -324,6 +407,10 @@ func (sw *Sweeper) GreenDn() *mat.Dense { return sw.dn.g }
 // Sign returns the tracked configuration sign.
 func (sw *Sweeper) Sign() float64 { return sw.sign }
 
+// SetSign restores a checkpointed sign (the sign is tracked incrementally
+// across flips, so a resumed chain must start from the saved value).
+func (sw *Sweeper) SetSign(s float64) { sw.sign = s }
+
 // AcceptanceRate returns accepted/proposed so far.
 func (sw *Sweeper) AcceptanceRate() float64 {
 	if sw.proposed == 0 {
@@ -332,8 +419,38 @@ func (sw *Sweeper) AcceptanceRate() float64 {
 	return float64(sw.accepted) / float64(sw.proposed)
 }
 
-// Device exposes the underlying simulated device for its counters.
-func (sw *Sweeper) Device() *Device { return sw.dev }
+// SetBoundaryHook registers h to run after every stratified refresh, when
+// GreenUp/GreenDn hold freshly recomputed Green's functions. Pass nil to
+// disable. Used for per-boundary equal-time measurements.
+func (sw *Sweeper) SetBoundaryHook(h func()) { sw.boundaryHook = h }
+
+// MaxWrapDrift reports the largest observed relative difference between a
+// wrapped Green's function and its stratified recomputation.
+func (sw *Sweeper) MaxWrapDrift() float64 { return sw.maxWrapDrift }
+
+// StabilityEvery returns the residual-check cadence in use.
+func (sw *Sweeper) StabilityEvery() int { return sw.stabilityEvery }
+
+// SetStabilityEvery changes the stack-vs-rebuild residual check cadence
+// (boundaries between checks; <= 0 disables). Takes effect at the next
+// refresh; the cadence never influences the Markov chain, only how often
+// the diagnostic is sampled.
+func (sw *Sweeper) SetStabilityEvery(n int) {
+	if n < 0 {
+		n = 0
+	}
+	sw.stabilityEvery = n
+}
+
+// Device exposes the group's primary simulated device for its counters.
+func (sw *Sweeper) Device() *Device { return sw.grp.Devs[0] }
+
+// Group exposes the whole device group.
+func (sw *Sweeper) Group() *Group { return sw.grp }
+
+// GraphsEnabled reports whether the wrap/cluster sequences run via
+// command-graph replay.
+func (sw *Sweeper) GraphsEnabled() bool { return sw.graphs }
 
 // ClusterK returns the clustering size in use.
 func (sw *Sweeper) ClusterK() int { return sw.clusterK }
@@ -341,10 +458,12 @@ func (sw *Sweeper) ClusterK() int { return sw.clusterK }
 // SetClusterK switches the hybrid sweeper to cluster size k between sweeps
 // (the autopilot's actuator, mirroring update.Sweeper.SetClusterK): k snaps
 // to the nearest divisor of L at or below the request, the device cluster
-// sets are rebuilt on each spin's existing accelerator, and the
-// stratification stacks are retargeted. The Green's functions sit at
-// boundary 0 between sweeps and are independent of the clustering, so they
-// are left untouched. Returns the k actually installed.
+// sets are rebuilt — with the same sharding — on each spin's existing
+// accelerators, any captured cluster graphs are invalidated (the recorded
+// pipeline depth no longer matches), and the stratification stacks are
+// retargeted. The Green's functions sit at boundary 0 between sweeps and
+// are independent of the clustering, so they are left untouched. Returns
+// the k actually installed.
 func (sw *Sweeper) SetClusterK(k int) int {
 	if k < 1 {
 		k = 1
@@ -356,9 +475,14 @@ func (sw *Sweeper) SetClusterK(k int) int {
 		return k
 	}
 	sw.clusterK = k
+	for _, sp := range [2]*gpuSpin{sw.up, sw.dn} {
+		for _, acc := range sp.accs {
+			acc.InvalidateGraphs()
+		}
+	}
 	cstart := sw.o.Begin()
-	sw.up.cs = NewClusterSet(sw.up.acc, sw.Field, hubbard.Up, k)
-	sw.dn.cs = NewClusterSet(sw.dn.acc, sw.Field, hubbard.Down, k)
+	sw.up.cs = NewClusterSetSharded(sw.up.accs, sw.Field, hubbard.Up, k)
+	sw.dn.cs = NewClusterSetSharded(sw.dn.accs, sw.Field, hubbard.Down, k)
 	sw.o.End(obs.PhaseCluster, cstart)
 	if sw.up.st != nil {
 		sstart := sw.o.Begin()

@@ -109,6 +109,126 @@ func TestHybridSweeperPhysicsAgreesWithCPU(t *testing.T) {
 	t.Logf("hybrid vs CPU: docc %.4f/%.4f, S_AF %.3f/%.3f", dH, dC, sH, sC)
 }
 
+// fieldsEqual compares two auxiliary-field configurations exactly.
+func fieldsEqual(a, b *hubbard.Field) bool {
+	for s := range a.H {
+		for i := range a.H[s] {
+			if a.H[s][i] != b.H[s][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSweeperDeviceAndGraphInvariance is the tentpole acceptance test:
+// the physical trajectory (auxiliary field and both Green's functions)
+// must be bitwise identical across 1, 2 and 4 devices and with command
+// graphs off or on — sharding and graphs shape modeled time only. The
+// stack refresh path and the NoStack full-rebuild path (which shards the
+// stratification chain over the peer link) are both pinned.
+func TestSweeperDeviceAndGraphInvariance(t *testing.T) {
+	for _, noStack := range []bool{false, true} {
+		run := func(nd int, graphs bool) (*hubbard.Field, *mat.Dense, *mat.Dense) {
+			p, f := testSetup(t, 3, 3, 4, 2, 8, 61)
+			grp := NewGroup(nd, TeslaC2050())
+			sw := NewGroupSweeper(grp, p, f, rng.New(11),
+				SweeperOptions{ClusterK: 4, Delay: 3, NoStack: noStack, UseGraphs: graphs})
+			sw.Sweep()
+			sw.Sweep()
+			return f, sw.GreenUp().Clone(), sw.GreenDn().Clone()
+		}
+		fRef, gUpRef, gDnRef := run(1, false)
+		for _, nd := range []int{1, 2, 4} {
+			for _, graphs := range []bool{false, true} {
+				if nd == 1 && !graphs {
+					continue
+				}
+				f, gUp, gDn := run(nd, graphs)
+				if !fieldsEqual(f, fRef) {
+					t.Fatalf("noStack=%v devices=%d graphs=%v: auxiliary field diverged", noStack, nd, graphs)
+				}
+				if !gUp.EqualApprox(gUpRef, 0) || !gDn.EqualApprox(gDnRef, 0) {
+					t.Fatalf("noStack=%v devices=%d graphs=%v: Green's functions diverged", noStack, nd, graphs)
+				}
+			}
+		}
+	}
+}
+
+// TestSweeperSteadyDeviceMemory asserts the device footprint reaches
+// steady state: after the first sweep, further sweeps — and a cluster-size
+// resize — neither allocate net device memory nor raise the high-water
+// mark. Covers the stack path and the NoStack path (whose sharded
+// stratification allocates scratch per refresh and must free all of it).
+func TestSweeperSteadyDeviceMemory(t *testing.T) {
+	for _, noStack := range []bool{false, true} {
+		p, f := testSetup(t, 3, 3, 4, 2, 8, 67)
+		grp := NewGroup(4, TeslaC2050())
+		sw := NewGroupSweeper(grp, p, f, rng.New(29),
+			SweeperOptions{ClusterK: 4, Delay: 3, NoStack: noStack, UseGraphs: true})
+		sw.Sweep()
+		alloc := make([]int64, grp.Size())
+		high := make([]int64, grp.Size())
+		for i, d := range grp.Devs {
+			alloc[i], high[i] = d.AllocBytes(), d.MaxAllocBytes()
+			if alloc[i] == 0 {
+				t.Fatalf("noStack=%v: device %d unused", noStack, i)
+			}
+		}
+		sw.Sweep()
+		sw.SetClusterK(2)
+		sw.Sweep()
+		sw.Sweep()
+		for i, d := range grp.Devs {
+			if d.AllocBytes() != alloc[i] {
+				t.Fatalf("noStack=%v: device %d allocation drifted %d -> %d bytes (leak or double free)",
+					noStack, i, alloc[i], d.AllocBytes())
+			}
+			if d.MaxAllocBytes() != high[i] {
+				t.Fatalf("noStack=%v: device %d high-water grew %d -> %d bytes after warmup",
+					noStack, i, high[i], d.MaxAllocBytes())
+			}
+		}
+	}
+}
+
+// TestShardedSetClusterKUnderAutopilot covers the autopilot actuator on a
+// sharded sweeper: resizing k between sweeps (exactly as core's
+// autopilotStep does) on 2- and 4-device groups must keep the trajectory
+// bitwise identical to the single-device sweeper under the same schedule,
+// and the final Green's function consistent with a fresh CPU evaluation.
+func TestShardedSetClusterKUnderAutopilot(t *testing.T) {
+	schedule := []int{2, 4, 1}
+	run := func(nd int) (*hubbard.Field, *Sweeper) {
+		p, f := testSetup(t, 3, 3, 4, 2, 8, 71)
+		grp := NewGroup(nd, TeslaC2050())
+		sw := NewGroupSweeper(grp, p, f, rng.New(19), SweeperOptions{ClusterK: 4, Delay: 3, UseGraphs: true})
+		sw.Sweep()
+		for _, k := range schedule {
+			if got := sw.SetClusterK(k); got != k {
+				t.Fatalf("SetClusterK(%d) = %d on L=8", k, got)
+			}
+			sw.Sweep()
+		}
+		return f, sw
+	}
+	fRef, swRef := run(1)
+	for _, nd := range []int{2, 4} {
+		f, sw := run(nd)
+		if !fieldsEqual(f, fRef) {
+			t.Fatalf("devices=%d: field diverged under the k schedule", nd)
+		}
+		if !sw.GreenUp().EqualApprox(swRef.GreenUp(), 0) || !sw.GreenDn().EqualApprox(swRef.GreenDn(), 0) {
+			t.Fatalf("devices=%d: Green's functions diverged under the k schedule", nd)
+		}
+		fresh := sw.freshCPU(hubbard.Up)
+		if d := mat.RelDiff(sw.GreenUp(), fresh); d > 1e-8 {
+			t.Fatalf("devices=%d: sharded G inconsistent with CPU after resizes: %g", nd, d)
+		}
+	}
+}
+
 func TestHybridSweeperProfile(t *testing.T) {
 	p, f := testSetup(t, 3, 3, 4, 2, 8, 57)
 	col := obs.New()

@@ -29,6 +29,26 @@ type Metrics struct {
 	// internal/autopilot and only carried here so it rides the same
 	// document).
 	Autopilot *AutopilotMetrics `json:"autopilot,omitempty"`
+
+	// Devices carries one entry per simulated accelerator when the run
+	// offloaded to internal/gpu (empty otherwise). The entries are filled
+	// by the runner from the device counters; obs only defines the schema.
+	Devices []DeviceMetrics `json:"devices,omitempty"`
+}
+
+// DeviceMetrics is one simulated accelerator's end-of-run counter snapshot:
+// the modeled clock, how much of it was fixed launch/latency overhead (the
+// part command graphs amortize), the work totals, and the memory
+// high-water mark.
+type DeviceMetrics struct {
+	Device           string  `json:"device"`
+	ClockMS          float64 `json:"clock_ms"`
+	LaunchOverheadMS float64 `json:"launch_overhead_ms"`
+	ModeledGFlops    float64 `json:"modeled_gflops"`
+	Flops            int64   `json:"flops"`
+	TransferredBytes int64   `json:"transferred_bytes"`
+	Kernels          int64   `json:"kernels"`
+	MaxAllocBytes    int64   `json:"max_alloc_bytes"`
 }
 
 // OpMetrics holds the op-counter deltas of a run.
@@ -45,6 +65,9 @@ type OpMetrics struct {
 	DeviceFlops       int64 `json:"device_flops,omitempty"`
 	DeviceBytes       int64 `json:"device_bytes,omitempty"`
 	DeviceKernels     int64 `json:"device_kernels,omitempty"`
+	GraphReplays      int64 `json:"graph_replays,omitempty"`
+	GraphNodes        int64 `json:"graph_nodes,omitempty"`
+	PeerBytes         int64 `json:"peer_bytes,omitempty"`
 }
 
 // fromCounts maps an OpCounts delta onto the named document fields.
@@ -62,6 +85,9 @@ func fromCounts(d OpCounts) OpMetrics {
 		DeviceFlops:       d[OpDeviceFlops],
 		DeviceBytes:       d[OpDeviceBytes],
 		DeviceKernels:     d[OpDeviceKernels],
+		GraphReplays:      d[OpGraphReplays],
+		GraphNodes:        d[OpGraphNodes],
+		PeerBytes:         d[OpPeerBytes],
 	}
 }
 

@@ -109,6 +109,14 @@ const (
 	OpDeviceFlops
 	OpDeviceBytes
 	OpDeviceKernels
+	// OpGraphReplays / OpGraphNodes are charged by command-graph replay:
+	// one replay per launch of a recorded sequence, plus the number of
+	// recorded nodes it executed (the launches amortized away).
+	OpGraphReplays
+	OpGraphNodes
+	// OpPeerBytes counts device<->device bytes moved over the modeled
+	// inter-accelerator link by multi-device scheduling.
+	OpPeerBytes
 	NumOps
 )
 
@@ -140,6 +148,12 @@ func (o Op) String() string {
 		return "device_bytes"
 	case OpDeviceKernels:
 		return "device_kernels"
+	case OpGraphReplays:
+		return "graph_replays"
+	case OpGraphNodes:
+		return "graph_nodes"
+	case OpPeerBytes:
+		return "peer_bytes"
 	}
 	return "unknown"
 }

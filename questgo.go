@@ -85,6 +85,8 @@ var (
 	WithMeasureBoundaries = core.WithMeasureBoundaries
 	WithMeasureDynamics   = core.WithMeasureDynamics
 	WithStabilityCheck    = core.WithStabilityCheck
+	WithDevices           = core.WithDevices
+	WithGraphs            = core.WithGraphs
 	WithSeed              = core.WithSeed
 	WithAutopilot         = core.WithAutopilot
 	WithAutopilotBounds   = core.WithAutopilotBounds
@@ -141,6 +143,8 @@ func NewSimulation(cfg Config) (*Simulation, error) { return core.New(cfg) }
 //	delay             delayed-update block size
 //	prepivot          true = Algorithm 3, false = Algorithm 2
 //	autopilot         true = adapt k and check cadence from live telemetry
+//	devices           simulated accelerators (0 = CPU sweeper)
+//	graphs            true = device command-graph capture/replay
 //	seed              RNG seed
 func LoadConfig(path string) (Config, error) {
 	f, err := config.Load(path)
@@ -170,6 +174,8 @@ func ConfigFromFile(f *config.File) (Config, error) {
 	cfg.Delay = f.Int("delay", cfg.Delay)
 	cfg.PrePivot = f.Bool("prepivot", cfg.PrePivot)
 	cfg.Autopilot = f.Bool("autopilot", cfg.Autopilot)
+	cfg.Devices = f.Int("devices", cfg.Devices)
+	cfg.UseGraphs = f.Bool("graphs", cfg.UseGraphs)
 	cfg.Seed = f.Uint64("seed", cfg.Seed)
 	if err := f.Err(); err != nil {
 		return cfg, err

@@ -37,6 +37,8 @@ echo "== Verify: metrics instrumentation overhead gate (<2% on the sweep hot pat
 go run ./cmd/sweep -obscheck -obsnx 8 -obsreps 3 -obsmax 2
 echo "== Verify: stability autopilot ablation (residual held, cadence no denser, no slower)"
 go run ./cmd/sweep -autopilot BENCH_autopilot.json -apbeta 32 -apl 160 -apk 10 -apcheck 2 -apgate
+echo "== Verify: command-graph amortization + multi-device sharding gate (1/2/4 devices)"
+go run ./cmd/gpubench -gpugate -json BENCH_gpu.json
 
 if [ "${PAPER_SCALE:-0}" = "1" ]; then
     KSIZES=128,256,384,512,768,1024
