@@ -1,0 +1,241 @@
+// Command dqmcload generates a mixed workload against the dqmcd simulation
+// service and benchmarks it: a stream of small lattices, a few larger ones,
+// and bursts of repeated submissions that exercise the result cache. Every
+// measured point is appended to a BENCH_service.json JSON-lines series
+// (internal/benchutil records).
+//
+// By default it starts a private in-process server (full HTTP stack on a
+// loopback listener) so the benchmark is hermetic; -addr points it at an
+// already running dqmcd instead.
+//
+// Usage:
+//
+//	dqmcload [-addr http://127.0.0.1:8517] [-jobs 12] [-shards 2]
+//	         [-json BENCH_service.json] [-servicegate]
+//
+// -servicegate turns the run into a regression gate:
+//
+//   - a cache hit must be at least 50x faster than the cold execution of
+//     the same job;
+//   - with 2 workers the service must clear the workload at >= 1.6x the
+//     1-worker throughput — enforced only when the machine has >= 2 CPUs
+//     (on a single core the ratio is recorded but cannot gate).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"questgo"
+	"questgo/internal/benchutil"
+)
+
+func main() {
+	addr := flag.String("addr", "", "existing dqmcd base URL (empty = hermetic in-process server)")
+	jobs := flag.Int("jobs", 12, "jobs in the mixed workload")
+	shards := flag.Int("shards", 2, "shards per workload job")
+	jsonPath := flag.String("json", "", "append benchutil records to this JSON-lines file")
+	gate := flag.Bool("servicegate", false, "enforce the cache and throughput regression gates")
+	flag.Parse()
+
+	if err := run(*addr, *jobs, *shards, *jsonPath, *gate); err != nil {
+		fmt.Fprintln(os.Stderr, "dqmcload:", err)
+		os.Exit(1)
+	}
+}
+
+// startServer brings up a hermetic dqmcd on a loopback listener and returns
+// its base URL plus a teardown.
+func startServer(workers int) (string, func(), error) {
+	svc, err := questgo.NewServer(questgo.ServerOptions{Workers: workers})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = svc.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: svc}
+	go func() { _ = hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	stop := func() {
+		_ = hs.Close()
+		_ = svc.Close()
+	}
+	return base, stop, nil
+}
+
+// workload builds the mixed job list: mostly small 4x4 systems at varying
+// seeds, a few larger 6x6 ones.
+func workload(jobs, shards int) []questgo.JobRequest {
+	reqs := make([]questgo.JobRequest, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		cfg := questgo.DefaultConfig()
+		cfg.WarmSweeps, cfg.MeasSweeps = 6, 12
+		cfg.L = 8
+		cfg.Seed = uint64(100 + i)
+		if i%4 == 3 { // every fourth job is a larger lattice
+			cfg.Nx, cfg.Ny = 6, 6
+		}
+		reqs = append(reqs, questgo.JobRequest{Config: cfg, Shards: shards, Tag: fmt.Sprintf("load-%d", i)})
+	}
+	return reqs
+}
+
+// clear submits every request and waits for all results, returning the wall
+// time. Submission is async (the queue interleaves shards across jobs), so
+// this measures service throughput, not per-job latency.
+func clear(cl *questgo.ServiceClient, reqs []questgo.JobRequest) (time.Duration, error) {
+	ctx := context.Background()
+	start := time.Now()
+	ids := make([]string, len(reqs))
+	for i, r := range reqs {
+		st, err := cl.Submit(ctx, r)
+		if err != nil {
+			return 0, fmt.Errorf("submit %d: %w", i, err)
+		}
+		ids[i] = st.ID
+	}
+	for i, id := range ids {
+		if _, err := cl.WaitResult(ctx, id); err != nil {
+			return 0, fmt.Errorf("wait %d: %w", i, err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// medianRoundTrip submits req reps times and returns the median wall time
+// of submit -> result in hand.
+func medianRoundTrip(cl *questgo.ServiceClient, req questgo.JobRequest, reps int) (time.Duration, error) {
+	ctx := context.Background()
+	times := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		st, err := cl.Submit(ctx, req)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := cl.WaitResult(ctx, st.ID); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(start))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], nil
+}
+
+func record(jsonPath, name string, n int, secs float64, extra map[string]float64) error {
+	if jsonPath == "" {
+		return nil
+	}
+	r := benchutil.NewRecord("service", name, n, secs, 0)
+	for k, v := range extra {
+		r = r.WithFloatParam(k, v)
+	}
+	return r.Append(jsonPath)
+}
+
+func run(addr string, jobs, shards int, jsonPath string, gate bool) error {
+	// ---- Cache gate: cold vs cache-hit round trip on one fixed job.
+	base := addr
+	var stop func()
+	var err error
+	if base == "" {
+		if base, stop, err = startServer(0); err != nil {
+			return err
+		}
+		defer stop()
+	}
+	cl := questgo.NewServiceClient(base)
+
+	probe := questgo.DefaultConfig()
+	probe.WarmSweeps, probe.MeasSweeps = 20, 40
+	probe.Seed = 424242 // private seed so an external server is cold too
+	probeReq := questgo.JobRequest{Config: probe, Shards: shards, Tag: "cache-probe"}
+
+	coldReq := probeReq
+	coldReq.NoCache = true
+	cold, err := medianRoundTrip(cl, coldReq, 3)
+	if err != nil {
+		return fmt.Errorf("cold probe: %w", err)
+	}
+	// Warm the cache once, then measure the hit.
+	if st, werr := cl.Submit(context.Background(), probeReq); werr != nil {
+		return fmt.Errorf("cache warm: %w", werr)
+	} else if _, werr := cl.WaitResult(context.Background(), st.ID); werr != nil {
+		return fmt.Errorf("cache warm: %w", werr)
+	}
+	hit, err := medianRoundTrip(cl, probeReq, 5)
+	if err != nil {
+		return fmt.Errorf("hit probe: %w", err)
+	}
+	cacheSpeedup := float64(cold) / float64(hit)
+	fmt.Printf("cache: cold %8.2f ms   hit %8.3f ms   speedup %.0fx\n",
+		float64(cold)/1e6, float64(hit)/1e6, cacheSpeedup)
+	if err := record(jsonPath, "cache_cold", probe.Nx*probe.Ny, cold.Seconds(), nil); err != nil {
+		return err
+	}
+	if err := record(jsonPath, "cache_hit", probe.Nx*probe.Ny, hit.Seconds(),
+		map[string]float64{"speedup": cacheSpeedup}); err != nil {
+		return err
+	}
+	if gate && cacheSpeedup < 50 {
+		return fmt.Errorf("servicegate: cache hit only %.1fx faster than cold (need >= 50x)", cacheSpeedup)
+	}
+
+	// ---- Throughput: the mixed workload at 1 and 2 workers. Only
+	// meaningful against hermetic servers (worker count is fixed on an
+	// external one).
+	if addr != "" {
+		wall, err := clear(cl, workload(jobs, shards))
+		if err != nil {
+			return err
+		}
+		rate := float64(jobs) / wall.Seconds()
+		fmt.Printf("workload: %d jobs in %.2fs (%.1f jobs/s) against %s\n", jobs, wall.Seconds(), rate, addr)
+		return record(jsonPath, "workload", jobs, wall.Seconds(), map[string]float64{"jobs_per_sec": rate})
+	}
+
+	walls := map[int]time.Duration{}
+	for _, workers := range []int{1, 2} {
+		wbase, wstop, err := startServer(workers)
+		if err != nil {
+			return err
+		}
+		wall, err := clear(questgo.NewServiceClient(wbase), workload(jobs, shards))
+		wstop()
+		if err != nil {
+			return fmt.Errorf("workload at %d workers: %w", workers, err)
+		}
+		walls[workers] = wall
+		rate := float64(jobs) / wall.Seconds()
+		fmt.Printf("workload: %d jobs x %d shards at %d worker(s): %.2fs (%.1f jobs/s)\n",
+			jobs, shards, workers, wall.Seconds(), rate)
+		if err := record(jsonPath, fmt.Sprintf("workload_w%d", workers), jobs, wall.Seconds(),
+			map[string]float64{"jobs_per_sec": rate}); err != nil {
+			return err
+		}
+	}
+	scaling := float64(walls[1]) / float64(walls[2])
+	fmt.Printf("worker scaling: 2 workers clear the load %.2fx faster (NumCPU=%d)\n", scaling, runtime.NumCPU())
+	if err := record(jsonPath, "worker_scaling", 2, walls[2].Seconds(),
+		map[string]float64{"speedup": scaling}); err != nil {
+		return err
+	}
+	if gate {
+		if runtime.NumCPU() < 2 {
+			fmt.Println("servicegate: single-CPU machine, worker-scaling gate recorded but not enforced")
+		} else if scaling < 1.6 {
+			return fmt.Errorf("servicegate: 2-worker speedup %.2fx below the 1.6x gate", scaling)
+		}
+	}
+	return nil
+}

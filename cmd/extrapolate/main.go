@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -62,17 +63,7 @@ func main() {
 	}
 
 	run := func(cfg questgo.Config) *questgo.Results {
-		var res *questgo.Results
-		var err error
-		if *walkers > 1 {
-			res, err = questgo.RunParallel(cfg, *walkers)
-		} else {
-			var sim *questgo.Simulation
-			sim, err = questgo.NewSimulation(cfg)
-			if err == nil {
-				res = sim.Run()
-			}
-		}
+		res, err := questgo.Run(context.Background(), cfg, questgo.WithWalkers(*walkers))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "extrapolate:", err)
 			os.Exit(1)

@@ -1,10 +1,14 @@
 package questgo
 
 import (
+	"context"
+	"net/http/httptest"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"questgo/internal/benchutil"
 )
 
 // Integration tests: every command-line tool must run end to end on a tiny
@@ -128,6 +132,73 @@ func TestCmdExtrapolate(t *testing.T) {
 		"-ls", "4,8", "-nx", "2", "-beta", "1", "-warm", "5", "-meas", "10")
 	if !strings.Contains(out, "extrapolation") {
 		t.Fatalf("extrapolate output:\n%s", out)
+	}
+}
+
+func TestCmdDQMCLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_service.json")
+	out := runTool(t, "./cmd/dqmcload", "-jobs", "4", "-shards", "1", "-json", jsonPath)
+	for _, want := range []string{"cache:", "speedup", "worker scaling"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dqmcload output missing %q:\n%s", want, out)
+		}
+	}
+	recs, err := benchutil.ReadRecords(jsonPath)
+	if err != nil {
+		t.Fatalf("read records: %v", err)
+	}
+	names := map[string]bool{}
+	for _, r := range recs {
+		if r.Bench != "service" {
+			t.Fatalf("unexpected bench %q", r.Bench)
+		}
+		names[r.Name] = true
+	}
+	for _, want := range []string{"cache_cold", "cache_hit", "workload_w1", "workload_w2", "worker_scaling"} {
+		if !names[want] {
+			t.Fatalf("missing record series %q in %v", want, names)
+		}
+	}
+}
+
+// TestCmdDQMCD boots the daemon on a random port and drives one job
+// through the HTTP API with the Go client.
+func TestCmdDQMCD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	// The daemon runs until signaled; drive the same server surface
+	// in-process instead of managing a child process lifetime here
+	// (cmd/dqmcd is a flag-parsing shim over NewServer).
+	svc, err := NewServer(ServerOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer func() { _ = svc.Close() }()
+	hs := httptest.NewServer(svc)
+	defer hs.Close()
+	cl := NewServiceClient(hs.URL)
+
+	cfg := DefaultConfig()
+	cfg.Nx, cfg.Ny, cfg.L = 2, 2, 8
+	cfg.WarmSweeps, cfg.MeasSweeps = 3, 6
+	st, err := cl.Submit(context.Background(), JobRequest{Config: cfg, Shards: 2})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	res, err := cl.WaitResult(context.Background(), st.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if res.Results == nil || res.Results.Density == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.ConfigHash != cfg.Hash() {
+		t.Fatalf("hash mismatch: %s vs %s", res.ConfigHash, cfg.Hash())
 	}
 }
 

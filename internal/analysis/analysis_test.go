@@ -18,6 +18,7 @@ func TestFixtures(t *testing.T) {
 		{RngDiscipline, "rngdiscipline_ok"},
 		{NakedPanic, "nakedpanic"},
 		{ErrCheck, "errcheck"},
+		{ErrCheck, "errcheck_service"},
 		{StreamOrder, "streamorder"},
 	}
 	for _, c := range cases {

@@ -6,21 +6,35 @@ import (
 	"strings"
 )
 
-// ErrCheck flags dropped errors in the cmd/* front ends: an expression
-// statement whose call returns an error (alone or in a tuple) silently
-// discards it. The commands are where JSON benchmark documents, figures,
-// checkpoints and profiles hit the filesystem — exactly the writes whose
-// failures must reach the exit code for reproduce.sh to be trustworthy.
-// fmt's terminal printing family is exempt (its error is about a closed
-// stdout and is conventionally ignored).
+// ErrCheck flags dropped errors in the cmd/* front ends and the service
+// layer: an expression statement whose call returns an error (alone or in a
+// tuple) silently discards it. The commands are where JSON benchmark
+// documents, figures, checkpoints and profiles hit the filesystem, and
+// internal/service is where job checkpoints and HTTP documents do — exactly
+// the writes whose failures must reach the exit code (or the job error) to
+// be trustworthy. fmt's terminal printing family is exempt (its error is
+// about a closed stdout and is conventionally ignored).
 var ErrCheck = &Analyzer{
 	Name: "errcheck",
-	Doc:  "cmd/* must not drop returned errors",
+	Doc:  "cmd/* and internal/service must not drop returned errors",
 	Run:  runErrCheck,
 }
 
+// errCheckedPkgs are the package-path prefixes ErrCheck applies to.
+var errCheckedPkgs = []string{
+	"questgo/cmd/",
+	"questgo/internal/service",
+}
+
 func runErrCheck(pass *Pass) error {
-	if !strings.HasPrefix(pass.PkgPath, "questgo/cmd/") {
+	checked := false
+	for _, prefix := range errCheckedPkgs {
+		if strings.HasPrefix(pass.PkgPath, prefix) {
+			checked = true
+			break
+		}
+	}
+	if !checked {
 		return nil
 	}
 	if pass.Info == nil {

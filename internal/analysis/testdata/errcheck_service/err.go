@@ -1,0 +1,18 @@
+//qmclint:path questgo/internal/service
+
+// Package service exercises the errcheck analyzer's service-layer scope:
+// internal/service persists shard checkpoints and writes HTTP documents, so
+// dropped errors there are as load-bearing as in cmd/*.
+package service
+
+import "os"
+
+func save(path string) error { return os.WriteFile(path, nil, 0o644) }
+
+func cleanup(path string) {
+	save(path)            // want "discarded"
+	os.Remove(path)       // want "discarded"
+	_ = os.Remove(path)   // explicit drop: fine
+	go save(path)         // want "discarded"
+	defer os.Remove(path) // want "discarded"
+}

@@ -1,18 +1,30 @@
 package benchutil
 
 import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
 	"os/exec"
 	"strings"
 	"sync"
 	"time"
+
+	"questgo/internal/schema"
 )
 
+// RecordSchemaVersion is the wire version of the benchmark record lines.
+// Major bumps rename/retype/remove fields; minor bumps only add.
+const RecordSchemaVersion = "1.0"
+
 // Record is the unified machine-readable bench result shared by every
-// figure-regeneration harness (cmd/kernels, cmd/sweep, cmd/gpubench). One
-// record is one measured point; harnesses append them as JSON lines so
-// results from different commands and commits diff with the same tooling.
-// Field names are a compatibility surface.
+// figure-regeneration harness (cmd/kernels, cmd/sweep, cmd/gpubench,
+// cmd/dqmcload). One record is one measured point; harnesses append them as
+// JSON lines so results from different commands and commits diff with the
+// same tooling. Field names are a compatibility surface; DecodeRecord and
+// ReadRecords are the read path that enforces it.
 type Record struct {
+	SchemaVersion string `json:"schema_version,omitempty"`
 	// Bench is the harness name ("kernels", "sweep", "gpubench"); Name the
 	// measured series/kernel within it ("gemm", "wrap", "cluster", ...).
 	Bench string `json:"bench"`
@@ -39,14 +51,59 @@ type Record struct {
 // throughput is not meaningful for the series).
 func NewRecord(bench, name string, n int, secs, flops float64) Record {
 	return Record{
-		Bench:    bench,
-		Name:     name,
-		N:        n,
-		Ms:       secs * 1e3,
-		GFlops:   GFlops(flops, secs),
-		GitRev:   GitRev(),
-		UnixTime: time.Now().Unix(),
+		SchemaVersion: RecordSchemaVersion,
+		Bench:         bench,
+		Name:          name,
+		N:             n,
+		Ms:            secs * 1e3,
+		GFlops:        GFlops(flops, secs),
+		GitRev:        GitRev(),
+		UnixTime:      time.Now().Unix(),
 	}
+}
+
+// DecodeRecord parses one JSON record line, rejecting incompatible schema
+// majors (lines without a schema_version predate versioning and are read as
+// current).
+func DecodeRecord(data []byte) (Record, error) {
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Record{}, err
+	}
+	if err := schema.Check(r.SchemaVersion, RecordSchemaVersion); err != nil {
+		return Record{}, fmt.Errorf("benchutil: record: %w", err)
+	}
+	return r, nil
+}
+
+// ReadRecords loads a BENCH_*.json JSON-lines series, skipping blank lines
+// and failing on the first malformed or schema-incompatible record.
+func ReadRecords(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		r, err := DecodeRecord([]byte(text))
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // WithParam returns a copy of the record with one named size parameter set.

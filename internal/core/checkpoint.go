@@ -20,6 +20,12 @@ type Checkpoint struct {
 	FieldH   [][]float64
 	RngState [4]uint64
 	Sign     float64
+	// Accepted/Proposed are the lifetime Metropolis counters, carried so a
+	// resumed run's acceptance rate covers the whole chain, not just the
+	// sweeps executed after the restart. Old restart files decode them as
+	// zero, which reproduces the previous post-restart behavior.
+	Accepted int64
+	Proposed int64
 	// Autopilot is the controller state when Config.Autopilot is on (nil
 	// otherwise): the resumed run continues with the adapted cluster size and
 	// check cadence instead of restarting the adaptation from the config.
@@ -35,6 +41,7 @@ func (s *Simulation) Checkpoint() *Checkpoint {
 		RngState: s.rng.State(),
 		Sign:     s.sweeper.Sign(),
 	}
+	c.Accepted, c.Proposed = s.sweeper.Counters()
 	for i, row := range s.field.H {
 		c.FieldH[i] = append([]float64(nil), row...)
 	}
@@ -134,5 +141,6 @@ func Resume(c *Checkpoint) (*Simulation, error) {
 	sim.col.Reset()
 	sim.sweeper, sim.group = newSweeper(c.Config, sim.prop, sim.field, sim.rng, sim.col, clusterK, stabEvery)
 	sim.sweeper.SetSign(c.Sign)
+	sim.sweeper.SetCounters(c.Accepted, c.Proposed)
 	return sim, nil
 }

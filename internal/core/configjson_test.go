@@ -1,0 +1,143 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// populateConfig sets every field of a Config to a distinctive nonzero
+// value by reflection (the same trick as the checkpoint coverage guard), so
+// a field that is dropped anywhere in a round trip cannot hide behind a
+// zero value.
+func populateConfig(t *testing.T) Config {
+	t.Helper()
+	var cfg Config
+	v := reflect.ValueOf(&cfg).Elem()
+	tp := v.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		f := tp.Field(i)
+		fv := v.Field(i)
+		switch f.Type.Kind() {
+		case reflect.Int:
+			fv.SetInt(int64(100 + i))
+		case reflect.Uint64:
+			fv.SetUint(uint64(200 + i))
+		case reflect.Float64:
+			fv.SetFloat(0.5 + float64(i))
+		case reflect.Bool:
+			fv.SetBool(true)
+		default:
+			t.Fatalf("Config field %q has kind %s: teach this test (and the wire struct) to carry it", f.Name, f.Type.Kind())
+		}
+	}
+	return cfg
+}
+
+// TestConfigWireFieldCoverage (satellite 2) is the wire-format drift guard:
+// every Config field must survive a canonical JSON round trip AND move the
+// content hash when it changes. A new Config field that is not mirrored in
+// configWire fails both legs here instead of silently escaping the wire
+// format and the cache key.
+func TestConfigWireFieldCoverage(t *testing.T) {
+	base := populateConfig(t)
+
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, base) {
+		t.Fatalf("Config did not round-trip through the wire format:\n  sent: %+v\n  got:  %+v", base, back)
+	}
+
+	baseHash := base.Hash()
+	v := reflect.ValueOf(&base).Elem()
+	tp := v.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		mod := base // copy
+		mv := reflect.ValueOf(&mod).Elem().Field(i)
+		switch tp.Field(i).Type.Kind() {
+		case reflect.Int:
+			mv.SetInt(mv.Int() + 1)
+		case reflect.Uint64:
+			mv.SetUint(mv.Uint() + 1)
+		case reflect.Float64:
+			mv.SetFloat(mv.Float() + 1)
+		case reflect.Bool:
+			mv.SetBool(!mv.Bool())
+		}
+		if mod.Hash() == baseHash {
+			t.Fatalf("Config field %q does not reach the content hash: add it to configWire", tp.Field(i).Name)
+		}
+	}
+}
+
+func TestConfigWireNamesAreCanonical(t *testing.T) {
+	data, err := json.Marshal(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["schema_version"]; !ok {
+		t.Fatalf("wire document missing schema_version: %s", data)
+	}
+	key := regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	for k := range doc {
+		if !key.MatchString(k) {
+			t.Fatalf("wire key %q is not snake_case", k)
+		}
+	}
+	// Spot-check the input-file-aligned names.
+	for _, k := range []string{"nx", "beta", "l", "warm", "meas", "k", "prepivot", "seed"} {
+		if _, ok := doc[k]; !ok {
+			t.Fatalf("wire document missing canonical key %q: %s", k, data)
+		}
+	}
+}
+
+func TestConfigHashDeterministic(t *testing.T) {
+	a, b := DefaultConfig(), DefaultConfig()
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal configs must hash equal")
+	}
+	b.Seed++
+	if a.Hash() == b.Hash() {
+		t.Fatal("seed change must change the hash")
+	}
+	if len(a.Hash()) != 64 {
+		t.Fatalf("hash %q is not hex sha256", a.Hash())
+	}
+}
+
+func TestConfigUnmarshalVersioning(t *testing.T) {
+	// Missing schema_version: accepted as current.
+	var c Config
+	if err := json.Unmarshal([]byte(`{"nx":3,"ny":5}`), &c); err != nil {
+		t.Fatalf("versionless config rejected: %v", err)
+	}
+	if c.Nx != 3 || c.Ny != 5 {
+		t.Fatalf("versionless config mis-decoded: %+v", c)
+	}
+	// Same major: accepted even with a newer minor.
+	if err := json.Unmarshal([]byte(`{"schema_version":"1.9","nx":2}`), &c); err != nil {
+		t.Fatalf("minor skew rejected: %v", err)
+	}
+	// Unknown major: rejected.
+	if err := json.Unmarshal([]byte(`{"schema_version":"2.0","nx":2}`), &c); err == nil ||
+		!strings.Contains(err.Error(), "incompatible") {
+		t.Fatalf("unknown major not rejected: %v", err)
+	}
+	// Unknown fields are ignored (minor bumps are additive).
+	if err := json.Unmarshal([]byte(`{"nx":4,"from_the_future":true}`), &c); err != nil {
+		t.Fatalf("unknown field rejected: %v", err)
+	}
+}

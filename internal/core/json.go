@@ -2,17 +2,24 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 
 	"questgo/internal/obs"
 	"questgo/internal/profile"
+	"questgo/internal/schema"
 )
+
+// ResultsSchemaVersion is the wire version of the results document. Major
+// bumps rename/retype/remove fields; minor bumps only add.
+const ResultsSchemaVersion = "1.0"
 
 // resultsJSON is the serialization view of Results: everything a
 // downstream analysis needs, with the profile flattened to percentages.
 type resultsJSON struct {
-	Config Config `json:"config"`
+	SchemaVersion string `json:"schema_version,omitempty"`
+	Config        Config `json:"config"`
 
 	Density        float64 `json:"density"`
 	DensityErr     float64 `json:"density_err"`
@@ -50,9 +57,13 @@ type resultsJSON struct {
 	ProfilePercent map[string]float64 `json:"profile_percent,omitempty"`
 }
 
-// WriteJSON writes the results as indented JSON.
-func (r *Results) WriteJSON(w io.Writer) error {
+// MarshalJSON emits the stable results wire document (the same shape
+// WriteJSON has always produced, now stamped with schema_version). Results
+// is one of the service's wire formats, so the in-memory struct and the
+// document are convertible in both directions.
+func (r *Results) MarshalJSON() ([]byte, error) {
 	out := resultsJSON{
+		SchemaVersion:  ResultsSchemaVersion,
 		Config:         r.Config,
 		Density:        r.Density,
 		DensityErr:     r.DensityErr,
@@ -88,9 +99,65 @@ func (r *Results) WriteJSON(w io.Writer) error {
 			out.ProfilePercent[c.Name()] = pc[c]
 		}
 	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a results wire document back into Results,
+// rejecting incompatible majors. The Prof rendering is derived output and
+// is not reconstructed (it survives as ProfilePercent in the document);
+// every physical observable round-trips bitwise — float64 values survive
+// JSON encoding exactly.
+func (r *Results) UnmarshalJSON(data []byte) error {
+	var probe struct {
+		SchemaVersion string `json:"schema_version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return err
+	}
+	if err := schema.Check(probe.SchemaVersion, ResultsSchemaVersion); err != nil {
+		return fmt.Errorf("core: results: %w", err)
+	}
+	var in resultsJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*r = Results{
+		Config:         in.Config,
+		Density:        in.Density,
+		DensityErr:     in.DensityErr,
+		DoubleOcc:      in.DoubleOcc,
+		DoubleOccErr:   in.DoubleOccErr,
+		Kinetic:        in.Kinetic,
+		KineticErr:     in.KineticErr,
+		Potential:      in.Potential,
+		PotentialErr:   in.PotentialErr,
+		Energy:         in.Energy,
+		EnergyErr:      in.EnergyErr,
+		LocalMoment:    in.LocalMoment,
+		LocalMomentErr: in.LocalMomentErr,
+		SAF:            in.SAF,
+		SAFErr:         in.SAFErr,
+		AvgSign:        in.AvgSign,
+		Acceptance:     in.Acceptance,
+		MaxWrapDrift:   in.MaxWrapDrift,
+		Nk:             in.Nk,
+		NkErr:          in.NkErr,
+		Czz:            in.Czz,
+		CzzErr:         in.CzzErr,
+		LayerDensity:   in.LayerDensity,
+		DisplacedTaus:  in.DisplacedTaus,
+		GdTau:          in.GdTau,
+		GdTauErr:       in.GdTauErr,
+		Metrics:        in.Metrics,
+	}
+	return nil
+}
+
+// WriteJSON writes the results as indented JSON.
+func (r *Results) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(r)
 }
 
 // SaveJSON writes the results to a file.

@@ -19,8 +19,9 @@ import (
 // (each walker is an independent estimate); this requires walkers >= 2 for
 // nonzero errors. Vector observables are merged the same way element-wise.
 //
-// RunParallel is a compatibility wrapper over Run(ctx, cfg,
-// WithWalkers(walkers)).
+// Deprecated: RunParallel is a compatibility wrapper over
+// Run(ctx, cfg, WithWalkers(walkers)); call Run directly — it is the one
+// canonical entry point, and it also carries a context.
 func RunParallel(cfg Config, walkers int) (*Results, error) {
 	if walkers < 1 {
 		return nil, fmt.Errorf("core: need at least one walker")

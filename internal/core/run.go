@@ -41,6 +41,16 @@ func WithCheckpointOnCancel(path string) RunOption {
 	return func(o *runOptions) { o.checkpointPath = path }
 }
 
+// WalkerSeed derives the RNG seed of walker (or shard) w from a base seed:
+// a fixed golden-ratio stride spreads the seeds far apart deterministically.
+// This is the one seed-derivation rule of the whole system — Run's walker
+// group and the service's shard fan-out both use it, so a 1-shard service
+// job reproduces a direct single-walker Run bit for bit and an n-shard job
+// reproduces Run(..., WithWalkers(n)).
+func WalkerSeed(base uint64, w int) uint64 {
+	return base + uint64(w)*0x9e3779b97f4a7c15
+}
+
 // Run is the unified entry point of the pipeline: it validates and builds
 // the simulation, executes the schedule under ctx, and returns Results
 // carrying the metrics document. It subsumes the older Simulation.Run /
@@ -87,8 +97,7 @@ func Run(ctx context.Context, cfg Config, options ...RunOption) (*Results, error
 		go func(w int) {
 			defer wg.Done()
 			wcfg := cfg
-			// Spread seeds far apart deterministically.
-			wcfg.Seed = cfg.Seed + uint64(w)*0x9e3779b97f4a7c15
+			wcfg.Seed = WalkerSeed(cfg.Seed, w)
 			sim, err := newWithCollector(wcfg, col)
 			if err != nil {
 				errs[w] = err

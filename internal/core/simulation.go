@@ -213,6 +213,8 @@ type sweeper interface {
 	GreenUp() *mat.Dense
 	GreenDn() *mat.Dense
 	AcceptanceRate() float64
+	Counters() (accepted, proposed int64)
+	SetCounters(accepted, proposed int64)
 	MaxWrapDrift() float64
 	ClusterK() int
 	SetClusterK(int) int
@@ -373,7 +375,10 @@ type Progress struct {
 // Run executes the full schedule and returns the results.
 func (s *Simulation) Run() *Results { return s.RunProgress(nil) }
 
-// RunProgress is Run with an optional callback invoked after every sweep.
+// Deprecated: RunProgress is Run with a progress callback; the package-level
+// Run(ctx, cfg, WithProgress(cb)) is the canonical spelling — it validates,
+// builds and executes in one call and can be canceled. RunProgress remains
+// for callers that manage a Simulation directly (e.g. around checkpoints).
 func (s *Simulation) RunProgress(cb func(Progress)) *Results {
 	res, _ := s.RunContext(context.Background(), cb)
 	return res

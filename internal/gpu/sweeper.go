@@ -419,6 +419,17 @@ func (sw *Sweeper) AcceptanceRate() float64 {
 	return float64(sw.accepted) / float64(sw.proposed)
 }
 
+// Counters returns the lifetime Metropolis accept/propose counts.
+func (sw *Sweeper) Counters() (accepted, proposed int64) {
+	return sw.accepted, sw.proposed
+}
+
+// SetCounters restores checkpointed Metropolis counters so a resumed
+// chain's acceptance rate spans the whole run.
+func (sw *Sweeper) SetCounters(accepted, proposed int64) {
+	sw.accepted, sw.proposed = accepted, proposed
+}
+
 // SetBoundaryHook registers h to run after every stratified refresh, when
 // GreenUp/GreenDn hold freshly recomputed Green's functions. Pass nil to
 // disable. Used for per-boundary equal-time measurements.

@@ -1,13 +1,27 @@
 package obs
 
-import "time"
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"questgo/internal/schema"
+)
+
+// MetricsSchemaVersion is the wire version of the metrics document. The
+// major is bumped whenever a field is renamed, retyped or removed; purely
+// additive changes bump the minor.
+const MetricsSchemaVersion = "1.0"
 
 // Metrics is the stable JSON metrics document exported from a run: the
 // per-phase wall-time breakdown (the paper's Table-I rows in machine form),
 // the op-counter deltas, and the stability telemetry. Field names and the
 // phase/op key sets are a compatibility surface — downstream tooling diffs
-// these documents across runs.
+// these documents across runs; DecodeMetrics is the read path that enforces
+// it.
 type Metrics struct {
+	SchemaVersion string `json:"schema_version,omitempty"`
+
 	WallMS float64 `json:"wall_ms"`
 	// PhaseMS maps phase name -> accumulated milliseconds; PhasePercent is
 	// each phase's share of the phase total.
@@ -187,8 +201,9 @@ type AutopilotDecision struct {
 // cold path: it allocates freely.
 func (c *Collector) Metrics() *Metrics {
 	m := &Metrics{
-		PhaseMS:      map[string]float64{},
-		PhasePercent: map[string]float64{},
+		SchemaVersion: MetricsSchemaVersion,
+		PhaseMS:       map[string]float64{},
+		PhasePercent:  map[string]float64{},
 	}
 	for p := Phase(0); p < NumPhases; p++ {
 		m.PhaseMS[p.String()] = 0
@@ -219,4 +234,20 @@ func (c *Collector) Metrics() *Metrics {
 	c.mu.Unlock()
 	m.Stability = s.metrics()
 	return m
+}
+
+// DecodeMetrics parses a metrics document, rejecting incompatible schema
+// majors (a document without a schema_version predates versioning and is
+// read as current). This is the entry point downstream tooling should use
+// instead of raw json.Unmarshal, so a producer/reader mismatch fails at the
+// boundary.
+func DecodeMetrics(data []byte) (*Metrics, error) {
+	var m Metrics
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	if err := schema.Check(m.SchemaVersion, MetricsSchemaVersion); err != nil {
+		return nil, fmt.Errorf("obs: metrics: %w", err)
+	}
+	return &m, nil
 }

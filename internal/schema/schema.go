@@ -1,0 +1,55 @@
+// Package schema implements the "major.minor" versioning contract shared by
+// every exported JSON document of the repository (the run metrics document,
+// the benchmark Record lines, the canonical Config wire format, and the
+// service job documents). The rule is the usual one: a reader accepts any
+// document whose major version matches its own — minor bumps are additive
+// and must not break decoding — and rejects everything else, so an
+// incompatible producer fails loudly at the boundary instead of silently
+// dropping fields deep inside an analysis.
+package schema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse splits a "major.minor" version string. A bare "major" is accepted
+// with minor 0.
+func Parse(v string) (major, minor int, err error) {
+	head, tail, hasMinor := strings.Cut(v, ".")
+	major, err = strconv.Atoi(head)
+	if err != nil || major < 0 {
+		return 0, 0, fmt.Errorf("schema: malformed version %q", v)
+	}
+	if hasMinor {
+		minor, err = strconv.Atoi(tail)
+		if err != nil || minor < 0 {
+			return 0, 0, fmt.Errorf("schema: malformed version %q", v)
+		}
+	}
+	return major, minor, nil
+}
+
+// Check validates a document's version string against the reader's current
+// one. An empty got is accepted: it marks a document written before the
+// field existed (or a hand-written request) and is read as the current
+// version. A malformed version or a major mismatch is an error; minor skew
+// within one major is compatible in both directions.
+func Check(got, current string) error {
+	if got == "" {
+		return nil
+	}
+	gm, _, err := Parse(got)
+	if err != nil {
+		return err
+	}
+	cm, _, err := Parse(current)
+	if err != nil {
+		return fmt.Errorf("schema: reader's own version is malformed: %v", err)
+	}
+	if gm != cm {
+		return fmt.Errorf("schema: document version %s is incompatible with this reader (supports major %d)", got, cm)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package schema
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in           string
+		major, minor int
+		ok           bool
+	}{
+		{"1.0", 1, 0, true},
+		{"1.7", 1, 7, true},
+		{"2", 2, 0, true},
+		{"0.1", 0, 1, true},
+		{"", 0, 0, false},
+		{"one.two", 0, 0, false},
+		{"1.", 0, 0, false},
+		{"-1.0", 0, 0, false},
+		{"1.-2", 0, 0, false},
+		{"1.0.0", 0, 0, false},
+	}
+	for _, c := range cases {
+		ma, mi, err := Parse(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("Parse(%q) err = %v, want ok=%v", c.in, err, c.ok)
+		}
+		if c.ok && (ma != c.major || mi != c.minor) {
+			t.Fatalf("Parse(%q) = %d.%d, want %d.%d", c.in, ma, mi, c.major, c.minor)
+		}
+	}
+}
+
+func TestCheck(t *testing.T) {
+	cases := []struct {
+		got, current string
+		ok           bool
+	}{
+		{"1.0", "1.0", true},
+		{"1.3", "1.0", true}, // newer minor: additive, still readable
+		{"1.0", "1.5", true}, // older minor
+		{"", "1.0", true},    // pre-versioning document
+		{"2.0", "1.0", false},
+		{"0.9", "1.0", false},
+		{"junk", "1.0", false},
+		{"1.0", "junk", false},
+	}
+	for _, c := range cases {
+		err := Check(c.got, c.current)
+		if c.ok != (err == nil) {
+			t.Fatalf("Check(%q, %q) = %v, want ok=%v", c.got, c.current, err, c.ok)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"fmt"
+
+	"questgo/internal/core"
+	"questgo/internal/stats"
+)
+
+// Estimate is the streaming cross-shard aggregate published while a job
+// runs: sign-weighted scalar observables with cross-shard standard errors
+// (each shard is an independent chain whose own errors already carry the
+// jackknife/binning of its sweep series; across shards the spread of the
+// independent estimates is the honest error). With one landed shard the
+// shard's own jackknife errors are reported.
+type Estimate struct {
+	SchemaVersion string `json:"schema_version,omitempty"`
+	// Shards is how many chains have landed in this aggregate.
+	Shards int `json:"shards"`
+
+	Density      float64 `json:"density"`
+	DensityErr   float64 `json:"density_err"`
+	DoubleOcc    float64 `json:"double_occupancy"`
+	DoubleOccErr float64 `json:"double_occupancy_err"`
+	Energy       float64 `json:"energy"`
+	EnergyErr    float64 `json:"energy_err"`
+	SAF          float64 `json:"s_af"`
+	SAFErr       float64 `json:"s_af_err"`
+	AvgSign      float64 `json:"avg_sign"`
+}
+
+// Aggregator accumulates shard results as they land, in any order, and
+// merges them deterministically: results are stored by shard index, and
+// every aggregate (partial or final) is computed over the landed subset in
+// index order — so the same landed set always yields the same bytes, and
+// the final merge is independent of worker scheduling.
+type Aggregator struct {
+	results []*core.Results
+	landed  int
+}
+
+// NewAggregator prepares an aggregator for n shards.
+func NewAggregator(n int) *Aggregator {
+	return &Aggregator{results: make([]*core.Results, n)}
+}
+
+// Land stores shard idx's result. Landing the same shard twice is a
+// programming error (the queue retires a shard exactly once).
+func (a *Aggregator) Land(idx int, r *core.Results) {
+	if a.results[idx] != nil {
+		panic(fmt.Sprintf("service: shard %d landed twice", idx))
+	}
+	a.results[idx] = r
+	a.landed++
+}
+
+// Landed reports how many shards have landed.
+func (a *Aggregator) Landed() int { return a.landed }
+
+// landedInOrder returns the landed results by ascending shard index.
+func (a *Aggregator) landedInOrder() []*core.Results {
+	out := make([]*core.Results, 0, a.landed)
+	for _, r := range a.results {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Estimate computes the streaming aggregate over the landed shards (nil if
+// none landed yet).
+func (a *Aggregator) Estimate() *Estimate {
+	rs := a.landedInOrder()
+	if len(rs) == 0 {
+		return nil
+	}
+	e := &Estimate{SchemaVersion: JobSchemaVersion, Shards: len(rs)}
+	if len(rs) == 1 {
+		r := rs[0]
+		e.Density, e.DensityErr = r.Density, r.DensityErr
+		e.DoubleOcc, e.DoubleOccErr = r.DoubleOcc, r.DoubleOccErr
+		e.Energy, e.EnergyErr = r.Energy, r.EnergyErr
+		e.SAF, e.SAFErr = r.SAF, r.SAFErr
+		e.AvgSign = r.AvgSign
+		return e
+	}
+	pick := func(f func(*core.Results) float64) (float64, float64) {
+		xs := make([]float64, len(rs))
+		for i, r := range rs {
+			xs[i] = f(r)
+		}
+		return stats.Mean(xs), stats.StdErr(xs)
+	}
+	e.Density, e.DensityErr = pick(func(r *core.Results) float64 { return r.Density })
+	e.DoubleOcc, e.DoubleOccErr = pick(func(r *core.Results) float64 { return r.DoubleOcc })
+	e.Energy, e.EnergyErr = pick(func(r *core.Results) float64 { return r.Energy })
+	e.SAF, e.SAFErr = pick(func(r *core.Results) float64 { return r.SAF })
+	e.AvgSign, _ = pick(func(r *core.Results) float64 { return r.AvgSign })
+	return e
+}
+
+// Final merges all shards into the job's result document. Every shard must
+// have landed. The merge is core.MergeResults over the shards in index
+// order — exactly what Run(..., WithWalkers(n)) computes, and for one shard
+// the shard's Results pointer itself (bitwise identical to a direct Run).
+func (a *Aggregator) Final() (*core.Results, error) {
+	if a.landed != len(a.results) {
+		return nil, fmt.Errorf("service: final aggregate needs all %d shards, have %d", len(a.results), a.landed)
+	}
+	return core.MergeResults(a.landedInOrder())
+}

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"questgo/internal/core"
+)
+
+// runShardResult computes shard i's result directly (the same derivation
+// newJob uses).
+func runShardResult(t *testing.T, cfg core.Config, i int) *core.Results {
+	t.Helper()
+	cfg.Seed = core.WalkerSeed(cfg.Seed, i)
+	r, err := core.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("shard %d run: %v", i, err)
+	}
+	return r
+}
+
+// TestAggregatorOrderIndependence: the final merge does not depend on the
+// order shards land in.
+func TestAggregatorOrderIndependence(t *testing.T) {
+	cfg := fastConfig()
+	cfg.WarmSweeps, cfg.MeasSweeps = 2, 6
+	rs := []*core.Results{
+		runShardResult(t, cfg, 0),
+		runShardResult(t, cfg, 1),
+		runShardResult(t, cfg, 2),
+	}
+
+	inOrder := NewAggregator(3)
+	for i, r := range rs {
+		inOrder.Land(i, r)
+	}
+	scrambled := NewAggregator(3)
+	for _, i := range []int{2, 0, 1} {
+		scrambled.Land(i, rs[i])
+	}
+
+	a, err := inOrder.Final()
+	if err != nil {
+		t.Fatalf("final: %v", err)
+	}
+	b, err := scrambled.Final()
+	if err != nil {
+		t.Fatalf("final: %v", err)
+	}
+	if string(resultsBytes(t, a)) != string(resultsBytes(t, b)) {
+		t.Error("merge depends on landing order")
+	}
+}
+
+func TestAggregatorPartialEstimate(t *testing.T) {
+	cfg := fastConfig()
+	cfg.WarmSweeps, cfg.MeasSweeps = 2, 6
+	a := NewAggregator(2)
+	if a.Estimate() != nil {
+		t.Error("estimate before any shard landed")
+	}
+	if _, err := a.Final(); err == nil {
+		t.Error("final before all shards landed must error")
+	}
+
+	r0 := runShardResult(t, cfg, 0)
+	a.Land(0, r0)
+	e := a.Estimate()
+	if e == nil || e.Shards != 1 {
+		t.Fatalf("estimate after one shard: %+v", e)
+	}
+	// One shard: its own jackknife errors pass through.
+	if e.Density != r0.Density || e.DensityErr != r0.DensityErr {
+		t.Errorf("single-shard estimate not a passthrough: %+v vs %+v", e, r0)
+	}
+
+	a.Land(1, runShardResult(t, cfg, 1))
+	e = a.Estimate()
+	if e.Shards != 2 {
+		t.Fatalf("estimate shards = %d", e.Shards)
+	}
+	if e.DensityErr < 0 {
+		t.Errorf("negative cross-shard error: %+v", e)
+	}
+	if _, err := a.Final(); err != nil {
+		t.Errorf("final with all shards landed: %v", err)
+	}
+}
+
+func TestAggregatorDoubleLandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("double land did not panic")
+		}
+	}()
+	a := NewAggregator(1)
+	a.Land(0, &core.Results{})
+	a.Land(0, &core.Results{})
+}

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	res := func(id string) *JobResult { return &JobResult{ID: id} }
+
+	c.put("a", res("a"))
+	c.put("b", res("b"))
+	if _, ok := c.get("a"); !ok { // refresh a: b is now least recent
+		t.Fatal("a missing")
+	}
+	c.put("c", res("c")) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if got, ok := c.get(k); !ok || got.ID != k {
+			t.Errorf("%s: got %+v ok=%v", k, got, ok)
+		}
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d", c.len())
+	}
+
+	// Overwrite keeps one entry.
+	c.put("a", res("a2"))
+	if got, _ := c.get("a"); got.ID != "a2" {
+		t.Errorf("overwrite lost: %+v", got)
+	}
+	if c.len() != 2 {
+		t.Errorf("len after overwrite = %d", c.len())
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	for _, capacity := range []int{0, -5} {
+		c := newResultCache(capacity)
+		c.put("a", &JobResult{ID: "a"})
+		if _, ok := c.get("a"); ok {
+			t.Errorf("cap %d: cache should be disabled", capacity)
+		}
+	}
+}
+
+func TestResultCacheEvictionOrder(t *testing.T) {
+	c := newResultCache(3)
+	for i := 0; i < 10; i++ {
+		c.put(fmt.Sprintf("k%d", i), &JobResult{})
+	}
+	if c.len() != 3 {
+		t.Fatalf("len = %d", c.len())
+	}
+	for i := 7; i < 10; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("k%d missing", i)
+		}
+	}
+}

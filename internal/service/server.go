@@ -1,0 +1,166 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// errorDoc is the JSON body of every non-2xx response.
+type errorDoc struct {
+	SchemaVersion string `json:"schema_version"`
+	Error         string `json:"error"`
+}
+
+// ServeHTTP implements http.Handler over the versioned job API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// routes registers the v1 HTTP surface. Every endpoint is a thin wire shim
+// over the exported Go methods — the HTTP layer adds no behavior.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+}
+
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The document marshaled fine or the connection died; neither is
+	// recoverable from here.
+	_ = enc.Encode(doc)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorDoc{
+		SchemaVersion: JobSchemaVersion,
+		Error:         fmt.Sprintf(format, args...),
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode job request: %v", err)
+		return
+	}
+	st, err := s.Submit(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		SchemaVersion string       `json:"schema_version"`
+		Jobs          []*JobStatus `json:"jobs"`
+	}{JobSchemaVersion, s.List()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Result(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotDone):
+		writeError(w, http.StatusAccepted, "%v", err)
+	case err != nil:
+		// Distinguish "no such job" from "job retired without a result".
+		if _, lerr := s.lookup(r.PathValue("id")); lerr != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+		} else {
+			writeError(w, http.StatusConflict, "%v", err)
+		}
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStream serves the job's event feed as chunked JSON lines: buffered
+// events first, then live ones as they are emitted, ending after the
+// terminal "state" event. A reader that outlives the event buffer resumes
+// at the oldest retained event (Seq makes the gap visible).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+
+	next := 0 // next Seq to deliver
+	for {
+		j.mu.Lock()
+		if next < j.firstSeq {
+			next = j.firstSeq
+		}
+		batch := append([]Event(nil), j.events[next-j.firstSeq:]...)
+		notify := j.notify
+		terminal := j.state.terminal()
+		j.mu.Unlock()
+
+		for _, e := range batch {
+			if err := enc.Encode(e); err != nil {
+				return // client went away
+			}
+			next = e.Seq + 1
+		}
+		if len(batch) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			// Everything buffered at terminal-time has been delivered and the
+			// terminal "state" event is always the last one emitted.
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		SchemaVersion string `json:"schema_version"`
+		Status        string `json:"status"`
+	}{JobSchemaVersion, "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

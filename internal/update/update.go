@@ -435,6 +435,17 @@ func (sw *Sweeper) AcceptanceRate() float64 {
 	return float64(sw.accepted) / float64(sw.proposed)
 }
 
+// Counters returns the lifetime Metropolis accept/propose counts.
+func (sw *Sweeper) Counters() (accepted, proposed int64) {
+	return sw.accepted, sw.proposed
+}
+
+// SetCounters restores checkpointed Metropolis counters so a resumed
+// chain's acceptance rate spans the whole run.
+func (sw *Sweeper) SetCounters(accepted, proposed int64) {
+	sw.accepted, sw.proposed = accepted, proposed
+}
+
 // MaxWrapDrift reports the largest observed relative difference between a
 // wrapped Green's function and its stratified recomputation.
 func (sw *Sweeper) MaxWrapDrift() float64 { return sw.maxWrapDrift }

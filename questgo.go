@@ -24,8 +24,16 @@
 //	fmt.Println(res.Metrics.PhaseMS, res.Metrics.Stability.MaxWrapDrift)
 //
 // Run accepts options (WithProgress, WithWalkers, WithCheckpointOnCancel)
-// and stops cleanly at the next sweep when ctx is canceled. The older
-// NewSimulation / Simulation.Run / RunParallel surface remains available.
+// and stops cleanly at the next sweep when ctx is canceled. Run is the one
+// canonical entry point; the older NewSimulation / Simulation.Run /
+// RunParallel / RunProgress surface remains available but is deprecated.
+//
+// Config round-trips through a canonical JSON wire format (snake_case keys
+// matching the QUEST input-file vocabulary, stamped with schema_version)
+// and carries a deterministic content hash, Config.Hash — the identity the
+// service result cache is keyed on. NewServer runs the sharded simulation
+// service (HTTP job API, worker pool, checkpointed fault recovery, result
+// cache); NewServiceClient talks to one.
 package questgo
 
 import (
@@ -35,6 +43,7 @@ import (
 	"questgo/internal/config"
 	"questgo/internal/core"
 	"questgo/internal/obs"
+	"questgo/internal/service"
 )
 
 // Config specifies a DQMC simulation; see core.Config for field docs.
@@ -116,8 +125,10 @@ func Run(ctx context.Context, cfg Config, opts ...RunOption) (*Results, error) {
 }
 
 // RunParallel runs independent walkers of the same configuration
-// concurrently and merges their statistics. Compatibility wrapper over
-// Run(ctx, cfg, WithWalkers(walkers)).
+// concurrently and merges their statistics.
+//
+// Deprecated: use Run(ctx, cfg, WithWalkers(walkers)); it is the same
+// computation with context cancellation and progress reporting.
 func RunParallel(cfg Config, walkers int) (*Results, error) {
 	return core.RunParallel(cfg, walkers)
 }
@@ -153,6 +164,44 @@ func LoadConfig(path string) (Config, error) {
 	}
 	return ConfigFromFile(f)
 }
+
+// Service API: the sharded simulation server and its wire documents (see
+// internal/service for docs). A job is one Config plus a shard count;
+// shards are independent Markov chains seeded by core.WalkerSeed, so a
+// 1-shard job is bitwise identical to a direct Run and an n-shard job
+// reproduces Run(..., WithWalkers(n)).
+type (
+	// ServerOptions configures NewServer.
+	ServerOptions = service.Options
+	// Server is the sharded simulation service (an http.Handler).
+	Server = service.Server
+	// ServiceClient is the Go binding over the v1 HTTP job API.
+	ServiceClient = service.Client
+	// JobRequest is the POST /v1/jobs submission document.
+	JobRequest = service.JobRequest
+	// JobStatus is the GET /v1/jobs/{id} status document.
+	JobStatus = service.JobStatus
+	// JobResult is the GET /v1/jobs/{id}/result document.
+	JobResult = service.JobResult
+	// JobEvent is one line of the GET /v1/jobs/{id}/stream feed.
+	JobEvent = service.Event
+	// JobEstimate is the streaming cross-shard aggregate.
+	JobEstimate = service.Estimate
+	// ServerStats is the GET /v1/stats counters document.
+	ServerStats = service.Stats
+)
+
+// NewServer builds a sharded simulation server and starts its worker pool;
+// Close it when done.
+func NewServer(opts ServerOptions) (*Server, error) { return service.New(opts) }
+
+// NewServiceClient returns a client for a dqmcd server at base
+// (e.g. "http://127.0.0.1:8517").
+func NewServiceClient(base string) *ServiceClient { return &ServiceClient{Base: base} }
+
+// ErrJobNotDone is returned by ServiceClient.Result / Server.Result for a
+// job still in flight.
+var ErrJobNotDone = service.ErrNotDone
 
 // ConfigFromFile maps a parsed input file onto a Config.
 func ConfigFromFile(f *config.File) (Config, error) {

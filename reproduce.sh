@@ -21,7 +21,7 @@ if [ -n "$UNFORMATTED" ]; then
 fi
 go vet ./...
 go run ./cmd/qmclint ./...
-go test -race ./internal/parallel/ ./internal/blas/ ./internal/update/ ./internal/greens/ ./internal/obs/ ./internal/autopilot/ ./internal/core/ ./internal/gpu/
+go test -race ./internal/parallel/ ./internal/blas/ ./internal/update/ ./internal/greens/ ./internal/obs/ ./internal/autopilot/ ./internal/core/ ./internal/gpu/ ./internal/service/
 echo "== Verify: qmcdebug sanitizer build (NaN/Inf scans, drift asserts, pool bookkeeping)"
 go test -tags qmcdebug ./internal/...
 echo "== Verify: fuzz kernels against reference implementations (10s each)"
@@ -39,6 +39,11 @@ echo "== Verify: stability autopilot ablation (residual held, cadence no denser,
 go run ./cmd/sweep -autopilot BENCH_autopilot.json -apbeta 32 -apl 160 -apk 10 -apcheck 2 -apgate
 echo "== Verify: command-graph amortization + multi-device sharding gate (1/2/4 devices)"
 go run ./cmd/gpubench -gpugate -json BENCH_gpu.json
+# Service smoke benchmark: a cache hit must answer >= 50x faster than the
+# cold execution; with 2 workers the mixed workload must clear >= 1.6x
+# faster than with 1 (enforced only on multi-core machines).
+echo "== Verify: dqmcd service gate (result cache + worker scaling)"
+go run ./cmd/dqmcload -servicegate -json BENCH_service.json
 
 if [ "${PAPER_SCALE:-0}" = "1" ]; then
     KSIZES=128,256,384,512,768,1024
