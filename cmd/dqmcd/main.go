@@ -6,7 +6,7 @@
 // Usage:
 //
 //	dqmcd [-addr 127.0.0.1:8517] [-workers N] [-cache 256]
-//	      [-ckptdir DIR] [-maxrestarts 3]
+//	      [-ckptdir DIR] [-maxrestarts 3] [-retain 512]
 //
 // Endpoints (all documents carry schema_version):
 //
@@ -43,20 +43,22 @@ func main() {
 	cache := flag.Int("cache", 256, "result cache capacity in entries (negative disables)")
 	ckptDir := flag.String("ckptdir", "", "shard checkpoint directory (empty = private temp dir)")
 	maxRestarts := flag.Int("maxrestarts", 3, "max resume attempts per shard before the job fails")
+	retain := flag.Int("retain", 512, "finished jobs kept for status/result reads (negative retains all)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *cache, *ckptDir, *maxRestarts); err != nil {
+	if err := run(*addr, *workers, *cache, *ckptDir, *maxRestarts, *retain); err != nil {
 		fmt.Fprintln(os.Stderr, "dqmcd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, cache int, ckptDir string, maxRestarts int) error {
+func run(addr string, workers, cache int, ckptDir string, maxRestarts, retain int) error {
 	svc, err := questgo.NewServer(questgo.ServerOptions{
 		Workers:       workers,
 		CacheSize:     cache,
 		CheckpointDir: ckptDir,
 		MaxRestarts:   maxRestarts,
+		RetainJobs:    retain,
 	})
 	if err != nil {
 		return err

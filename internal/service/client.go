@@ -90,6 +90,18 @@ func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
 	return &st, nil
 }
 
+// List fetches every retained job's status in submission order.
+func (c *Client) List(ctx context.Context) ([]*JobStatus, error) {
+	var doc struct {
+		SchemaVersion string       `json:"schema_version"`
+		Jobs          []*JobStatus `json:"jobs"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &doc); err != nil {
+		return nil, err
+	}
+	return doc.Jobs, nil
+}
+
 // Result fetches a finished job's result; ErrNotDone while it is in flight.
 func (c *Client) Result(ctx context.Context, id string) (*JobResult, error) {
 	var res JobResult

@@ -4,8 +4,10 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"questgo/internal/core"
 )
@@ -107,6 +109,99 @@ func TestShardFaultBudgetExhausted(t *testing.T) {
 	// counter, including the one that exhausts the budget.
 	if svc.Stats().ShardRestarts != 3 {
 		t.Errorf("restart counter = %d, want 3", svc.Stats().ShardRestarts)
+	}
+}
+
+// TestShardErrorFailsImmediately: a genuine shard error (here: a corrupt
+// checkpoint that fails to load) retires the job with the real error on the
+// first attempt — it must not be misclassified as a worker interruption and
+// burn through the restart budget re-reading the same broken file.
+func TestShardErrorFailsImmediately(t *testing.T) {
+	cfg := fastConfig()
+	ckptDir := t.TempDir()
+	svc, cl := newTestServer(t, Options{Workers: 1, MaxRestarts: 3, CheckpointDir: ckptDir})
+
+	// Plant garbage where the first job's only shard looks for a resume
+	// point (IDs are sequential, so the path is deterministic).
+	bad := filepath.Join(ckptDir, "j000001-shard0000.ckpt")
+	if err := os.WriteFile(bad, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatalf("plant corrupt checkpoint: %v", err)
+	}
+
+	st, err := cl.Submit(context.Background(), JobRequest{Config: cfg, NoCache: true})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := cl.WaitResult(context.Background(), st.ID); err == nil {
+		t.Fatal("job with a corrupt checkpoint must fail")
+	}
+	final, err := cl.Status(context.Background(), st.ID)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if final.State != StateFailed || !strings.Contains(final.Error, "checkpoint") {
+		t.Errorf("final state = %s (error %q), want failed with the checkpoint error", final.State, final.Error)
+	}
+	if final.Shards[0].State != StateFailed {
+		t.Errorf("failing shard state = %s, want failed", final.Shards[0].State)
+	}
+	if got := svc.Stats().ShardRestarts; got != 0 {
+		t.Errorf("restart counter = %d, want 0 (a real error is not an interruption)", got)
+	}
+	// The failed job's checkpoint files are cleaned up too.
+	left, err := filepath.Glob(filepath.Join(ckptDir, "*.ckpt"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	if len(left) != 0 {
+		t.Errorf("failed job left checkpoints behind: %v", left)
+	}
+}
+
+// TestCancelCleansCheckpoints: a canceled job's running shard saves a resume
+// point on the way out; once it winds down the queue must remove it instead
+// of leaking it into a long-lived checkpoint directory.
+func TestCancelCleansCheckpoints(t *testing.T) {
+	cfg := fastConfig()
+	cfg.WarmSweeps, cfg.MeasSweeps = 5000, 5000 // long enough to cancel mid-run
+	ckptDir := t.TempDir()
+	_, cl := newTestServer(t, Options{Workers: 1, CheckpointDir: ckptDir})
+
+	st, err := cl.Submit(context.Background(), JobRequest{Config: cfg, NoCache: true})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Let the shard take at least one sweep so the cancel interrupts a live
+	// run (a pre-start cancel would never write a checkpoint at all).
+	waitShard := func(pred func(ShardStatus) bool, what string) *JobStatus {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			cur, err := cl.Status(context.Background(), st.ID)
+			if err != nil {
+				t.Fatalf("status: %v", err)
+			}
+			if pred(cur.Shards[0]) {
+				return cur
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s; last status %+v", what, cur)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitShard(func(sh ShardStatus) bool { return sh.State == StateRunning && sh.Sweep > 0 }, "shard to start sweeping")
+	if _, err := cl.Cancel(context.Background(), st.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	// Checkpoint removal happens in the same critical section that retires
+	// the shard, so once it reports non-running the directory must be clean.
+	waitShard(func(sh ShardStatus) bool { return sh.State != StateRunning }, "shard to wind down")
+	left, err := filepath.Glob(filepath.Join(ckptDir, "*.ckpt"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	if len(left) != 0 {
+		t.Errorf("canceled job left checkpoints behind: %v", left)
 	}
 }
 

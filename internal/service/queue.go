@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -94,6 +95,7 @@ func (s *Server) Submit(req JobRequest) (*JobStatus, error) {
 	j := newJob(id, req, hash, s.ckptDir)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
+	s.evictFinishedLocked()
 	s.mu.Unlock()
 	s.nSubmitted.Add(1)
 
@@ -185,6 +187,7 @@ func (s *Server) Cancel(id string) (*JobStatus, error) {
 		j.emit(Event{Type: "state", Shard: -1, State: StateCanceled})
 		s.nCanceled.Add(1)
 		j.cancel()
+		s.maybeCleanupFiles(j)
 	}
 	st := j.status()
 	j.mu.Unlock()
@@ -239,6 +242,7 @@ func (s *Server) runTask(t *shardTask) {
 		if !sh.state.terminal() {
 			sh.state = StateCanceled
 		}
+		s.maybeCleanupFiles(j)
 		j.mu.Unlock()
 		return
 	}
@@ -255,6 +259,12 @@ func (s *Server) runTask(t *shardTask) {
 
 	s.nShardsRun.Add(1)
 	res, err := s.runShard(runCtx, j, sh)
+	// Classify the outcome before cancel(): afterwards runCtx.Err() is
+	// non-nil unconditionally. A genuine interruption (fault hook, worker
+	// kill) surfaces as the run context's Canceled error with a checkpoint
+	// saved on the way out; any other error — checkpoint load/save failure,
+	// core.New error — is a real shard failure and must not be retried.
+	interrupted := runCtx.Err() != nil && errors.Is(err, context.Canceled)
 	cancel()
 
 	j.mu.Lock()
@@ -262,6 +272,15 @@ func (s *Server) runTask(t *shardTask) {
 	sh.runCancel = nil
 	switch {
 	case err == nil:
+		if j.state.terminal() {
+			// The job retired (canceled, or failed via a sibling shard) while
+			// this one was finishing: drop the result — landing it would keep
+			// mutating a terminal status and push events past the terminal
+			// "state" line stream readers stop at.
+			sh.state = StateCanceled
+			s.maybeCleanupFiles(j)
+			return
+		}
 		sh.state = StateDone
 		j.agg.Land(sh.idx, res)
 		j.emit(Event{Type: "partial", Shard: sh.idx, State: StateDone, Partial: j.agg.Estimate()})
@@ -271,13 +290,17 @@ func (s *Server) runTask(t *shardTask) {
 	case j.ctx.Err() != nil:
 		// The whole job was canceled (Cancel or Close); wind the shard down.
 		sh.state = StateCanceled
-		j.emit(Event{Type: "shard", Shard: sh.idx, State: StateCanceled})
-	case runCtx.Err() != nil:
+		if !j.state.terminal() {
+			j.emit(Event{Type: "shard", Shard: sh.idx, State: StateCanceled})
+		}
+		s.maybeCleanupFiles(j)
+	case interrupted:
 		// Only this shard's context died: its worker was killed. The shard
 		// saved a checkpoint on the way out; reschedule it, bounded.
 		sh.restarts++
 		s.nRestarts.Add(1)
 		if sh.restarts > s.opts.MaxRestarts {
+			sh.state = StateFailed
 			s.failJob(j, fmt.Sprintf("shard %d exceeded %d restarts", sh.idx, s.opts.MaxRestarts))
 			return
 		}
@@ -286,6 +309,7 @@ func (s *Server) runTask(t *shardTask) {
 		j.emit(Event{Type: "shard", Shard: sh.idx, State: StateQueued, Restarts: sh.restarts})
 		s.sched.pushFront(t)
 	default:
+		sh.state = StateFailed
 		s.failJob(j, fmt.Sprintf("shard %d: %v", sh.idx, err))
 	}
 }
@@ -333,6 +357,24 @@ func (s *Server) failJob(j *job, msg string) {
 	s.nFailed.Add(1)
 	j.emit(Event{Type: "state", Shard: -1, State: StateFailed, Error: msg})
 	j.cancel()
+	s.maybeCleanupFiles(j)
+}
+
+// maybeCleanupFiles removes the job's checkpoint files once it is terminal
+// and its last running shard has wound down (interrupted shards write their
+// resume point before re-entering the queue, so removing earlier would
+// race the save). Without this, failed and canceled jobs would leak .ckpt
+// files into a long-lived user-provided CheckpointDir. Caller holds j.mu.
+func (s *Server) maybeCleanupFiles(j *job) {
+	if !j.state.terminal() {
+		return
+	}
+	for _, sh := range j.shards {
+		if sh.state == StateRunning {
+			return
+		}
+	}
+	s.cleanupJobFiles(j)
 }
 
 // cleanupJobFiles removes any checkpoint files the job's shards left

@@ -202,6 +202,49 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+// TestFinishedJobRetention: a long-running daemon must not accumulate
+// finished jobs forever — beyond RetainJobs the oldest finished ones are
+// evicted at submission time, while live jobs and recent results survive.
+func TestFinishedJobRetention(t *testing.T) {
+	_, cl := newTestServer(t, Options{Workers: 1, RetainJobs: 2})
+	ctx := context.Background()
+
+	var last string
+	for i := 0; i < 6; i++ {
+		cfg := fastConfig()
+		cfg.Seed = uint64(100 + i) // distinct physics per job
+		st, err := cl.Submit(ctx, JobRequest{Config: cfg, NoCache: true})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if _, err := cl.WaitResult(ctx, st.ID); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		last = st.ID
+	}
+
+	// Submissions 4..6 each found 3+ finished jobs and evicted down to the
+	// cap of 2, so only j4 (finished after submit 6 ran eviction), j5 and
+	// j6 remain.
+	jobs, err := cl.List(ctx)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(jobs) != 3 {
+		ids := make([]string, 0, len(jobs))
+		for _, j := range jobs {
+			ids = append(ids, j.ID)
+		}
+		t.Fatalf("retained jobs = %v, want the 3 most recent", ids)
+	}
+	if _, err := cl.Status(ctx, "j000001"); err == nil {
+		t.Errorf("evicted job still answers status")
+	}
+	if _, err := cl.Result(ctx, last); err != nil {
+		t.Errorf("most recent job lost its result: %v", err)
+	}
+}
+
 // TestStreamDeliversOrderedEventsToTerminal follows the chunked feed and
 // checks sequencing and the terminal tail.
 func TestStreamDeliversOrderedEventsToTerminal(t *testing.T) {

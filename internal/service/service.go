@@ -33,8 +33,9 @@ import (
 )
 
 // Options configures a Server. The zero value is usable: it runs
-// runtime.NumCPU() workers, caches 256 results, and checkpoints into a
-// private temporary directory that is removed on Close.
+// runtime.NumCPU() workers, caches 256 results, retains the 512 most
+// recent finished jobs, and checkpoints into a private temporary directory
+// that is removed on Close.
 type Options struct {
 	// Workers bounds the number of shards executing concurrently
 	// (default runtime.NumCPU()).
@@ -48,6 +49,11 @@ type Options struct {
 	// MaxRestarts bounds how many times one shard may be resumed from its
 	// checkpoint after an interruption before the job fails (default 3).
 	MaxRestarts int
+	// RetainJobs caps how many finished (done/failed/canceled) jobs are
+	// kept for status/result reads; beyond it the oldest finished jobs are
+	// evicted at submission time (default 512; negative retains all). Live
+	// jobs are never evicted and do not count against the cap.
+	RetainJobs int
 	// FaultHook, when set, is consulted after every completed sweep of
 	// every shard; returning true kills that shard's worker mid-run (its
 	// context is canceled, it saves a checkpoint, and the queue reschedules
@@ -66,6 +72,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRestarts <= 0 {
 		o.MaxRestarts = 3
+	}
+	if o.RetainJobs == 0 {
+		o.RetainJobs = 512
 	}
 	return o
 }
@@ -197,6 +206,42 @@ func (s *Server) Stats() Stats {
 		CacheMisses:   s.nCacheMisses.Load(),
 		CacheEntries:  s.cache.len(),
 	}
+}
+
+// evictFinishedLocked enforces the RetainJobs cap: excess finished jobs are
+// dropped oldest-first, together with their buffered events and result
+// documents, so a long-running daemon's job table stays bounded. Live jobs
+// are never touched, and the result cache is unaffected — identical physics
+// resubmitted after eviction is still a cache hit. Caller holds s.mu; job
+// locks nest inside it.
+func (s *Server) evictFinishedLocked() {
+	if s.opts.RetainJobs < 0 {
+		return
+	}
+	finished := 0
+	terminal := make([]bool, len(s.order))
+	for i, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		terminal[i] = j.state.terminal()
+		j.mu.Unlock()
+		if terminal[i] {
+			finished++
+		}
+	}
+	if finished <= s.opts.RetainJobs {
+		return
+	}
+	keep := s.order[:0]
+	for i, id := range s.order {
+		if finished > s.opts.RetainJobs && terminal[i] {
+			delete(s.jobs, id)
+			finished--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
 }
 
 // background returns the context all job contexts derive from. Jobs are

@@ -101,7 +101,10 @@ func (s *Server) runShard(ctx context.Context, j *job, sh *shardState) (*core.Re
 		ck = measStart
 	}
 	if serr := ck.Save(sh.ckptPath); serr != nil {
-		return nil, fmt.Errorf("shard checkpoint save: %v (after %w)", serr, runErr)
+		// Deliberately not %w on runErr: without a saved resume point this is
+		// a real failure, and wrapping the context error would make the queue
+		// classify it as a resumable interruption.
+		return nil, fmt.Errorf("shard checkpoint save: %v (after %v)", serr, runErr)
 	}
 	return nil, runErr
 }
