@@ -70,6 +70,7 @@ func run(addr string, workers, cache int, ckptDir string, maxRestarts, retain in
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
+	//qmc:allow goleak -- exits when Shutdown/Close below makes ListenAndServe return; errc is buffered so the send never blocks
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -64,6 +64,7 @@ func startServer(workers int) (string, func(), error) {
 		return "", nil, err
 	}
 	hs := &http.Server{Handler: svc}
+	//qmc:allow goleak -- hs.Close() in the returned stop func makes Serve return, ending the goroutine
 	go func() { _ = hs.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 	stop := func() {
@@ -137,8 +138,13 @@ func record(jsonPath, name string, n int, secs float64, extra map[string]float64
 		return nil
 	}
 	r := benchutil.NewRecord("service", name, n, secs, 0)
-	for k, v := range extra {
-		r = r.WithFloatParam(k, v)
+	keys := make([]string, 0, len(extra))
+	for k := range extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		r = r.WithFloatParam(k, extra[k])
 	}
 	return r.Append(jsonPath)
 }

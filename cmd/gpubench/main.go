@@ -348,12 +348,16 @@ func chainSeries(jsonPath string) bool {
 		ok = false
 	}
 	// Gate 2: every configuration walked the identical Markov chains.
+	// Walk the same device/graph grid the measurement loop used, so the
+	// divergence report comes out in a fixed order.
 	ref := results[[2]int{1, 0}].sig
-	for key, res := range results {
-		if res.sig != ref {
-			fmt.Fprintf(os.Stderr, "gpubench: trajectory diverged at devices=%d graphs=%d (sig %.17g vs %.17g)\n",
-				key[0], key[1], res.sig, ref)
-			ok = false
+	for _, gi := range []int{0, 1} {
+		for _, nd := range []int{1, 2, 4} {
+			if res := results[[2]int{nd, gi}]; res.sig != ref {
+				fmt.Fprintf(os.Stderr, "gpubench: trajectory diverged at devices=%d graphs=%d (sig %.17g vs %.17g)\n",
+					nd, gi, res.sig, ref)
+				ok = false
+			}
 		}
 	}
 	return ok

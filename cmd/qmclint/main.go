@@ -4,27 +4,43 @@
 //
 // Usage:
 //
-//	go run ./cmd/qmclint [-run name,name] [-list] [packages...]
+//	go run ./cmd/qmclint [-run name,name] [-list] [-fix] [-wiregen] [-json path] [packages...]
+//
+// -fix applies the mechanically safe fixes some analyzers attach to their
+// diagnostics (ctxflow's `defer cancel()` insertion and classification
+// hoist) and reports the rewritten files; remaining findings still fail.
+// -wiregen regenerates the wirelock golden manifests after a deliberate
+// schema-version bump, and refuses when the wire surface changed but the
+// governing version constant did not. -json appends one benchutil record
+// (analyzer, package and finding counts) to the given BENCH_*.json file.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"questgo/internal/analysis"
+	"questgo/internal/benchutil"
 )
 
 func main() {
-	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	runNames := flag.String("run", "", "comma-separated analyzer names or sets to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	fix := flag.Bool("fix", false, "apply the mechanically safe fixes and report rewritten files")
+	wiregen := flag.Bool("wiregen", false, "regenerate wirelock manifests (requires a schema-version bump when fields changed)")
+	jsonPath := flag.String("json", "", "append analyzer/finding counts as one benchutil JSON record to this file")
 	flag.Parse()
 
 	all := analysis.All()
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s wave %d  %s\n", a.Name, a.Wave, a.Doc)
 		}
 		return
 	}
@@ -52,6 +68,7 @@ func main() {
 		os.Exit(2)
 	}
 	patterns := flag.Args()
+	start := time.Now()
 	pkgs, err := analysis.Load(wd, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qmclint: %v\n", err)
@@ -63,16 +80,106 @@ func main() {
 		}
 	}
 
+	if *wiregen {
+		if err := regenManifests(wd, pkgs); err != nil {
+			fmt.Fprintf(os.Stderr, "qmclint: -wiregen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qmclint: %v\n", err)
 		os.Exit(2)
 	}
+
+	if *fix {
+		changed, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qmclint: -fix: %v\n", err)
+			os.Exit(2)
+		}
+		for _, path := range changed {
+			fmt.Printf("qmclint: rewrote %s\n", path)
+		}
+		// Fixed diagnostics are resolved; only the rest still count.
+		rest := diags[:0:0]
+		for _, d := range diags {
+			if d.Fix == nil {
+				rest = append(rest, d)
+			}
+		}
+		diags = rest
+	}
+
 	for _, d := range diags {
 		fmt.Println(d)
+	}
+	if *jsonPath != "" {
+		rec := benchutil.NewRecord("lint", "qmclint", len(pkgs), time.Since(start).Seconds(), 0).
+			WithParam("analyzers", len(analyzers)).
+			WithParam("findings", len(diags))
+		if err := rec.Append(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "qmclint: -json: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "qmclint: %d diagnostic(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// regenManifests rewrites the golden wirelock manifest for every loaded
+// package that registers one, after verifying that any field change was
+// authorized by a schema-version bump.
+func regenManifests(wd string, pkgs []*analysis.LoadedPackage) error {
+	wireDir, err := analysisWireDir(wd)
+	if err != nil {
+		return err
+	}
+	wrote := 0
+	for _, p := range pkgs {
+		name := analysis.WireManifestName(p.PkgPath)
+		if name == "" {
+			continue
+		}
+		path := filepath.Join(wireDir, name)
+		old, readErr := os.ReadFile(path)
+		if readErr == nil {
+			if err := analysis.CheckWireBump(p, string(old)); err != nil {
+				return err
+			}
+		}
+		text := analysis.RenderWireManifest(p)
+		if text == "" {
+			continue
+		}
+		if readErr == nil && string(old) == text {
+			continue
+		}
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("qmclint: wrote %s\n", path)
+		wrote++
+	}
+	if wrote == 0 {
+		fmt.Println("qmclint: wire manifests already up to date")
+	}
+	return nil
+}
+
+// analysisWireDir locates internal/analysis/testdata/wire from anywhere in
+// the module, via the toolchain rather than a hardcoded relative path.
+func analysisWireDir(wd string) (string, error) {
+	cmd := exec.Command("go", "list", "-f", "{{.Dir}}", "questgo/internal/analysis")
+	cmd.Dir = wd
+	var out, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("locating questgo/internal/analysis: %v\n%s", err, stderr.String())
+	}
+	return filepath.Join(strings.TrimSpace(out.String()), "testdata", "wire"), nil
 }

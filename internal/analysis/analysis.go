@@ -34,10 +34,30 @@
 //     overlap and launch-overhead accounting always reflects an event-
 //     ordered schedule.
 //
+// Wave 2 (PR 10) covers the concurrent and wire-facing layers grown in
+// PRs 7–9:
+//
+//   - ctxflow: every context.WithCancel/WithTimeout cancel func is
+//     deferred, called, or stored; and no ctx.Err() / errors.Is(err,
+//     context.Canceled) classification runs after the corresponding
+//     cancel() in the same function (the misclassification bug class).
+//   - guardedfield: //qmc:guarded(mu) struct fields may only be touched by
+//     functions that lock the named mutex or carry a //qmc:locked(mu)
+//     caller-holds contract.
+//   - goleak: every go statement needs a visible drain path (select,
+//     channel receive/range, WaitGroup Done) or a justified waiver.
+//   - mapdet: no range over a map in the deterministic packages — map
+//     iteration order is the canonical silent determinism killer.
+//   - wirelock: versioned wire-format structs are locked against golden
+//     manifests under testdata/wire/; field drift without a schema-version
+//     bump is a finding.
+//
 // # Annotations
 //
 //	//qmc:hot                    function must be allocation-free (hotalloc)
 //	//qmc:charges Op1[,Op2...]   function charges these obs counters (obscharge)
+//	//qmc:guarded(mu)            struct field is guarded by sibling mutex mu
+//	//qmc:locked(mu)             function runs with mutex mu already held
 //	//qmc:allow name[,name] -- why   suppress named analyzers on this or the
 //	                                 next line (a justification is required)
 package analysis
@@ -47,23 +67,35 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one named check. Run inspects a pass and reports diagnostics
 // through pass.Reportf.
+//
+// Messages lists every diagnostic format string the analyzer may pass to
+// Reportf; the fixture suite fails unless each one is exercised by at
+// least one // want comment, and Reportf coverage of an undeclared format
+// is equally a test failure — so the fixture set and the analyzer cannot
+// drift apart.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name     string
+	Doc      string
+	Wave     int // 1 = hot-path wave (PR 4), 2 = concurrency/wire wave (PR 10)
+	Messages []string
+	Run      func(*Pass) error
 }
 
-// Diagnostic is one finding, positioned for file:line:col display.
+// Diagnostic is one finding, positioned for file:line:col display. Fix,
+// when non-nil, is a mechanically safe edit `qmclint -fix` may apply.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fix      *Fix
 }
 
 func (d Diagnostic) String() string {
@@ -86,15 +118,62 @@ type Pass struct {
 // Reportf records a diagnostic at pos unless a //qmc:allow comment on the
 // same or the preceding line waives this analyzer.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportfFix is Reportf with an attached mechanical fix.
+func (p *Pass) ReportfFix(pos token.Pos, fix *Fix, format string, args ...interface{}) {
+	p.report(pos, fix, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fix *Fix, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
 	if p.allowed(position) {
 		return
 	}
+	recordCoverage(p.Analyzer.Name, format)
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      position,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
+}
+
+// Message-format coverage bookkeeping: every unsuppressed Reportf records
+// which declared format fired, so the test suite can demand a fixture per
+// message. Guarded by a mutex — RunAnalyzers analyzes packages
+// concurrently.
+var (
+	coverageMu   sync.Mutex
+	coverageSeen = map[string]map[string]bool{}
+)
+
+func recordCoverage(analyzer, format string) {
+	coverageMu.Lock()
+	m := coverageSeen[analyzer]
+	if m == nil {
+		m = map[string]bool{}
+		coverageSeen[analyzer] = m
+	}
+	m[format] = true
+	coverageMu.Unlock()
+}
+
+// MessageCoverage snapshots which diagnostic formats each analyzer has
+// emitted in this process (analyzer name -> format -> fired).
+func MessageCoverage() map[string]map[string]bool {
+	coverageMu.Lock()
+	defer coverageMu.Unlock()
+	out := make(map[string]map[string]bool, len(coverageSeen))
+	for a, formats := range coverageSeen {
+		fc := make(map[string]bool, len(formats))
+		for f := range formats {
+			fc[f] = true
+		}
+		out[a] = fc
+	}
+	return out
 }
 
 func (p *Pass) allowed(pos token.Position) bool {
@@ -232,26 +311,44 @@ func (p *Pass) isBuiltin(id *ast.Ident, name string) bool {
 }
 
 // RunAnalyzers applies every analyzer to every package and returns the
-// findings sorted by position.
+// findings sorted by position. Packages are analyzed concurrently (the
+// per-package goroutines share only the coverage recorder, which is
+// mutex-guarded); the merged output is deterministic because each
+// package's findings land in its own slot before the final sort.
 func RunAnalyzers(pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	perPkg := make([][]Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *LoadedPackage) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sup := buildSuppressions(pkg.Fset, pkg.Files)
+			for _, a := range analyzers {
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     pkg.Fset,
+					Files:    pkg.Files,
+					PkgPath:  pkg.PkgPath,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					diags:    &perPkg[i],
+					suppress: sup,
+				}
+				if err := a.Run(pass); err != nil {
+					errs[i] = fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+					return
+				}
+			}
+		}(i, pkg)
+	}
+	wg.Wait()
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		sup := buildSuppressions(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				PkgPath:  pkg.PkgPath,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &diags,
-				suppress: sup,
-			}
-			if err := a.Run(pass); err != nil {
-				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
-			}
-		}
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -263,6 +360,11 @@ func RunAnalyzers(pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, e
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
+	for _, err := range errs {
+		if err != nil {
+			return diags, err
+		}
+	}
 	return diags, nil
 }
 
@@ -277,5 +379,10 @@ func All() []*Analyzer {
 		NakedPanic,
 		ErrCheck,
 		StreamOrder,
+		CtxFlow,
+		GuardedField,
+		GoLeak,
+		MapDet,
+		WireLock,
 	}
 }

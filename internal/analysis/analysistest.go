@@ -107,6 +107,37 @@ func RunFixture(t TB, a *Analyzer, dir string) {
 	}
 }
 
+// loadFixturePackage parses and type-checks one testdata fixture package
+// the same way RunFixture does (honoring //qmclint:path), for tests that
+// drive RunAnalyzers over several packages at once.
+func loadFixturePackage(t TB, dir string) *LoadedPackage {
+	t.Helper()
+	pattern := filepath.Join("testdata", dir, "*.go")
+	names, err := filepath.Glob(pattern)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files match %s", pattern)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	pkgPath := "fixture/" + dir
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "//qmclint:path "); ok {
+					pkgPath = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	return typeCheck(fset, importer.ForCompiler(fset, "source", nil), pkgPath, filepath.Dir(names[0]), files)
+}
+
 // splitQuoted extracts the double-quoted substrings of a want clause, e.g.
 // `"a" "b"` -> [a b].
 func splitQuoted(s string) []string {

@@ -14,10 +14,27 @@ import (
 // reported: unknown or symbolic dimensions stay silent, and a variable
 // that is ever reassigned is dropped. This turns the runtime dimension
 // panics of the kernels into build-time findings for the static subset.
+// dimcheck diagnostic formats.
+const (
+	msgDimGemmInner = "Gemm inner dimensions disagree: op(A) is %dx%d but op(B) is %dx%d"
+	msgDimGemmRows  = "Gemm output rows disagree: op(A) has %d rows but C is %dx%d"
+	msgDimGemmCols  = "Gemm output cols disagree: op(B) has %d cols but C is %dx%d"
+	msgDimTranspose = "TransposeInto destination is %dx%d but the source is %dx%d (need %dx%d)"
+	msgDimCopyFrom  = "CopyFrom source is %dx%d but the destination is %dx%d"
+)
+
 var DimCheck = &Analyzer{
 	Name: "dimcheck",
 	Doc:  "provably mismatched matrix dimensions at blas/mat call sites",
-	Run:  runDimCheck,
+	Wave: 1,
+	Messages: []string{
+		msgDimGemmInner,
+		msgDimGemmRows,
+		msgDimGemmCols,
+		msgDimTranspose,
+		msgDimCopyFrom,
+	},
+	Run: runDimCheck,
 }
 
 type dims struct{ r, c int }
@@ -159,13 +176,13 @@ func reportGemm(pass *Pass, call *ast.CallExpr, ta, tb bool, a dims, aok bool, b
 		bk, bn = bn, bk
 	}
 	if aok && bok && ak != bk {
-		pass.Reportf(call.Pos(), "Gemm inner dimensions disagree: op(A) is %dx%d but op(B) is %dx%d", am, ak, bk, bn)
+		pass.Reportf(call.Pos(), msgDimGemmInner, am, ak, bk, bn)
 	}
 	if aok && cok && am != c.r {
-		pass.Reportf(call.Pos(), "Gemm output rows disagree: op(A) has %d rows but C is %dx%d", am, c.r, c.c)
+		pass.Reportf(call.Pos(), msgDimGemmRows, am, c.r, c.c)
 	}
 	if bok && cok && bn != c.c {
-		pass.Reportf(call.Pos(), "Gemm output cols disagree: op(B) has %d cols but C is %dx%d", bn, c.r, c.c)
+		pass.Reportf(call.Pos(), msgDimGemmCols, bn, c.r, c.c)
 	}
 }
 
@@ -195,12 +212,12 @@ func checkMatMethodShapes(pass *Pass, call *ast.CallExpr, shapes map[string]dims
 	switch sel.Sel.Name {
 	case "TransposeInto":
 		if ad.r != rd.c || ad.c != rd.r {
-			pass.Reportf(call.Pos(), "TransposeInto destination is %dx%d but the source is %dx%d (need %dx%d)",
+			pass.Reportf(call.Pos(), msgDimTranspose,
 				ad.r, ad.c, rd.r, rd.c, rd.c, rd.r)
 		}
 	case "CopyFrom":
 		if ad.r != rd.r || ad.c != rd.c {
-			pass.Reportf(call.Pos(), "CopyFrom source is %dx%d but the destination is %dx%d", ad.r, ad.c, rd.r, rd.c)
+			pass.Reportf(call.Pos(), msgDimCopyFrom, ad.r, ad.c, rd.r, rd.c)
 		}
 	}
 }

@@ -14,10 +14,17 @@ import (
 // the writes whose failures must reach the exit code (or the job error) to
 // be trustworthy. fmt's terminal printing family is exempt (its error is
 // about a closed stdout and is conventionally ignored).
+// errcheck diagnostic format.
+const msgErrDropped = "result of %s includes an error that is discarded; check it (or assign to _ to make the drop explicit)"
+
 var ErrCheck = &Analyzer{
 	Name: "errcheck",
 	Doc:  "cmd/* and internal/service must not drop returned errors",
-	Run:  runErrCheck,
+	Wave: 1,
+	Messages: []string{
+		msgErrDropped,
+	},
+	Run: runErrCheck,
 }
 
 // errCheckedPkgs are the package-path prefixes ErrCheck applies to.
@@ -61,7 +68,7 @@ func runErrCheck(pass *Pass) error {
 				return true
 			}
 			if returnsError(pass, call) {
-				pass.Reportf(call.Pos(), "result of %s includes an error that is discarded; check it (or assign to _ to make the drop explicit)", callName(call))
+				pass.Reportf(call.Pos(), msgErrDropped, callName(call))
 			}
 			return true
 		})

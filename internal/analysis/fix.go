@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+)
+
+// FixKind classifies the two mechanically safe edits qmclint knows how to
+// apply. Anything richer (restructuring control flow, inventing locks)
+// stays a human's job.
+type FixKind int
+
+const (
+	// FixInsert inserts Text at byte offset Off.
+	FixInsert FixKind = iota
+	// FixSwap exchanges the byte ranges [AStart,AEnd) and [BStart,BEnd)
+	// (AEnd <= BStart; the separator between them is preserved).
+	FixSwap
+)
+
+// Fix is one concrete edit to one file, expressed in byte offsets of the
+// file as it was analyzed. ApplyFixes refuses overlapping edits and
+// re-formats the result, so a fix that produces syntactically invalid code
+// is an error, never a written file.
+type Fix struct {
+	Desc string
+	Kind FixKind
+	Path string
+
+	Off  int    // FixInsert: insertion offset
+	Text string // FixInsert: inserted text
+
+	AStart, AEnd int // FixSwap: first range
+	BStart, BEnd int // FixSwap: second range
+}
+
+// start returns the earliest offset the fix touches, for ordering.
+func (f *Fix) start() int {
+	if f.Kind == FixInsert {
+		return f.Off
+	}
+	return f.AStart
+}
+
+// end returns the offset just past the last byte the fix touches.
+func (f *Fix) end() int {
+	if f.Kind == FixInsert {
+		return f.Off
+	}
+	return f.BEnd
+}
+
+// ApplyFixes applies every diagnostic's attached fix and rewrites the
+// touched files (gofmt-normalized). It returns the changed file paths in
+// sorted order. Files whose fixed content equals the original are left
+// untouched — running -fix on a clean tree is a no-op.
+func ApplyFixes(diags []Diagnostic) ([]string, error) {
+	byFile := map[string][]*Fix{}
+	for i := range diags {
+		if f := diags[i].Fix; f != nil {
+			byFile[f.Path] = append(byFile[f.Path], f)
+		}
+	}
+	paths := make([]string, 0, len(byFile))
+	for p := range byFile {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	var changed []string
+	for _, path := range paths {
+		fixes := byFile[path]
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return changed, err
+		}
+		// Apply back to front so earlier offsets stay valid.
+		sort.Slice(fixes, func(i, j int) bool { return fixes[i].start() > fixes[j].start() })
+		out := src
+		prevStart := len(src) + 1
+		for _, f := range fixes {
+			if f.end() > prevStart {
+				return changed, fmt.Errorf("%s: overlapping fixes; re-run qmclint -fix after the first pass", path)
+			}
+			prevStart = f.start()
+			out, err = applyFix(out, f)
+			if err != nil {
+				return changed, fmt.Errorf("%s: %w", path, err)
+			}
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			return changed, fmt.Errorf("%s: fix produced invalid Go: %w", path, err)
+		}
+		if bytes.Equal(formatted, src) {
+			continue
+		}
+		if err := os.WriteFile(path, formatted, 0o644); err != nil {
+			return changed, err
+		}
+		changed = append(changed, path)
+	}
+	return changed, nil
+}
+
+func applyFix(src []byte, f *Fix) ([]byte, error) {
+	switch f.Kind {
+	case FixInsert:
+		if f.Off < 0 || f.Off > len(src) {
+			return nil, fmt.Errorf("fix offset %d out of range", f.Off)
+		}
+		var out []byte
+		out = append(out, src[:f.Off]...)
+		out = append(out, f.Text...)
+		out = append(out, src[f.Off:]...)
+		return out, nil
+	case FixSwap:
+		if !(0 <= f.AStart && f.AStart <= f.AEnd && f.AEnd <= f.BStart && f.BStart <= f.BEnd && f.BEnd <= len(src)) {
+			return nil, fmt.Errorf("fix swap ranges [%d,%d) [%d,%d) out of order", f.AStart, f.AEnd, f.BStart, f.BEnd)
+		}
+		var out []byte
+		out = append(out, src[:f.AStart]...)
+		out = append(out, src[f.BStart:f.BEnd]...)
+		out = append(out, src[f.AEnd:f.BStart]...)
+		out = append(out, src[f.AStart:f.AEnd]...)
+		out = append(out, src[f.BEnd:]...)
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown fix kind %d", f.Kind)
+}

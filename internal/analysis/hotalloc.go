@@ -25,6 +25,17 @@ var autoHotPackages = map[string]bool{
 	pkgBlas: true,
 }
 
+// hotalloc diagnostic formats.
+const (
+	msgHotBuiltin     = "hot path calls %s (allocates); use the mat scratch pools or a pre-bound buffer"
+	msgHotFmt         = "hot path calls fmt.%s (allocates and reflects); move formatting off the hot path"
+	msgHotSliceLit    = "hot path builds a slice literal (allocates); use the mat scratch pools or a pre-bound buffer"
+	msgHotMapLit      = "hot path builds a map literal (allocates)"
+	msgHotClosure     = "hot path creates a closure (allocates); pre-bind it at construction time"
+	msgHotGoroutine   = "hot path spawns a goroutine; route fork/join through the persistent parallel pool"
+	msgHotMethodValue = "hot path takes a method value of %s (allocates); pre-bind it at construction time"
+)
+
 // HotAlloc rejects per-call allocations in //qmc:hot functions: make,
 // append, new, slice/map composite literals, func literals (closure
 // capture), method values, go statements and fmt calls. Hot-path buffers
@@ -36,7 +47,17 @@ var autoHotPackages = map[string]bool{
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc:  "forbid allocations in //qmc:hot functions and the blas kernel package",
-	Run:  runHotAlloc,
+	Wave: 1,
+	Messages: []string{
+		msgHotBuiltin,
+		msgHotFmt,
+		msgHotSliceLit,
+		msgHotMapLit,
+		msgHotClosure,
+		msgHotGoroutine,
+		msgHotMethodValue,
+	},
+	Run: runHotAlloc,
 }
 
 func runHotAlloc(pass *Pass) error {
@@ -86,32 +107,32 @@ func (w *hotWalker) walk(n ast.Node, loopDepth int) {
 				// Failure path: diagnostics may format freely.
 				return
 			case w.pass.isBuiltin(id, "make"), w.pass.isBuiltin(id, "append"), w.pass.isBuiltin(id, "new"):
-				w.pass.Reportf(n.Pos(), "hot path calls %s (allocates); use the mat scratch pools or a pre-bound buffer", id.Name)
+				w.pass.Reportf(n.Pos(), msgHotBuiltin, id.Name)
 			}
 		}
 		if path, name := w.pass.pkgSelector(w.file, n.Fun); path == "fmt" {
-			w.pass.Reportf(n.Pos(), "hot path calls fmt.%s (allocates and reflects); move formatting off the hot path", name)
+			w.pass.Reportf(n.Pos(), msgHotFmt, name)
 		}
 	case *ast.CompositeLit:
 		switch n.Type.(type) {
 		case *ast.ArrayType:
 			if n.Type.(*ast.ArrayType).Len == nil {
-				w.pass.Reportf(n.Pos(), "hot path builds a slice literal (allocates); use the mat scratch pools or a pre-bound buffer")
+				w.pass.Reportf(n.Pos(), msgHotSliceLit)
 			}
 		case *ast.MapType:
-			w.pass.Reportf(n.Pos(), "hot path builds a map literal (allocates)")
+			w.pass.Reportf(n.Pos(), msgHotMapLit)
 		}
 	case *ast.FuncLit:
-		w.pass.Reportf(n.Pos(), "hot path creates a closure (allocates); pre-bind it at construction time")
+		w.pass.Reportf(n.Pos(), msgHotClosure)
 		return // the body is not on this function's hot path
 	case *ast.GoStmt:
-		w.pass.Reportf(n.Pos(), "hot path spawns a goroutine; route fork/join through the persistent parallel pool")
+		w.pass.Reportf(n.Pos(), msgHotGoroutine)
 	case *ast.SelectorExpr:
 		// A method value (m.F used as a value, not called) allocates its
 		// bound receiver. Detectable only with type info.
 		if w.pass.Info != nil {
 			if sel, ok := w.pass.Info.Selections[n]; ok && sel.Kind() == types.MethodVal && !w.isCalled(n) {
-				w.pass.Reportf(n.Pos(), "hot path takes a method value of %s (allocates); pre-bind it at construction time", n.Sel.Name)
+				w.pass.Reportf(n.Pos(), msgHotMethodValue, n.Sel.Name)
 			}
 		}
 	}

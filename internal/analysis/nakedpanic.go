@@ -28,10 +28,17 @@ var shapeComplaint = regexp.MustCompile(`(?i)(mismatch|dimension|length|size|out
 // ...) would have answered from the log line. The formatting cost is
 // irrelevant: panic arguments only evaluate on the failure path (hotalloc
 // exempts them for the same reason).
+// nakedpanic diagnostic format.
+const msgNakedPanic = "shape panic %q carries no dimensions; use fmt.Sprintf with the offending sizes"
+
 var NakedPanic = &Analyzer{
 	Name: "nakedpanic",
 	Doc:  "kernel shape panics must carry the offending dimensions",
-	Run:  runNakedPanic,
+	Wave: 1,
+	Messages: []string{
+		msgNakedPanic,
+	},
+	Run: runNakedPanic,
 }
 
 func runNakedPanic(pass *Pass) error {
@@ -57,7 +64,7 @@ func runNakedPanic(pass *Pass) error {
 				return true
 			}
 			if shapeComplaint.MatchString(msg) {
-				pass.Reportf(call.Pos(), "shape panic %q carries no dimensions; use fmt.Sprintf with the offending sizes", msg)
+				pass.Reportf(call.Pos(), msgNakedPanic, msg)
 			}
 			return true
 		})

@@ -17,10 +17,24 @@ import (
 //  3. Inside the kernel packages, no counter may be charged from a
 //     function that lacks the annotation, so the annotations stay in sync
 //     with the code.
+//
+// obscharge diagnostic formats.
+const (
+	msgObsNotCharged    = "%s declares //qmc:charges %s but never calls obs.Add(obs.%s, ...)%s"
+	msgObsMissingAnnot  = "kernel entry point %s must be annotated //qmc:charges %s (and charge it)"
+	msgObsUndeclCharges = "%s charges obs counters without a //qmc:charges annotation (charges: %s)"
+)
+
 var ObsCharge = &Analyzer{
 	Name: "obscharge",
 	Doc:  "kernel entry points must charge their internal/obs counters",
-	Run:  runObsCharge,
+	Wave: 1,
+	Messages: []string{
+		msgObsNotCharged,
+		msgObsMissingAnnot,
+		msgObsUndeclCharges,
+	},
+	Run: runObsCharge,
 }
 
 // obsKernelRegistry lists, per kernel package, the functions that *must*
@@ -80,20 +94,20 @@ func runObsCharge(pass *Pass) error {
 			if annotated {
 				for _, op := range declared {
 					if !charged[op] {
-						pass.Reportf(fd.Pos(), "%s declares //qmc:charges %s but never calls obs.Add(obs.%s, ...)%s",
+						pass.Reportf(fd.Pos(), msgObsNotCharged,
 							fd.Name.Name, op, op, gemmHint(op))
 					}
 				}
 			} else {
 				if op, required := registry[fd.Name.Name]; required {
-					pass.Reportf(fd.Pos(), "kernel entry point %s must be annotated //qmc:charges %s (and charge it)", fd.Name.Name, op)
+					pass.Reportf(fd.Pos(), msgObsMissingAnnot, fd.Name.Name, op)
 				}
 				if len(charged) > 0 && obsChargePackages[pass.PkgPath] {
 					ops := make([]string, 0, len(charged))
 					for op := range charged {
 						ops = append(ops, op)
 					}
-					pass.Reportf(fd.Pos(), "%s charges obs counters without a //qmc:charges annotation (charges: %s)",
+					pass.Reportf(fd.Pos(), msgObsUndeclCharges,
 						fd.Name.Name, strings.Join(ops, ","))
 				}
 			}

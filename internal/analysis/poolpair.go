@@ -14,10 +14,23 @@ import (
 // The check is per-function and name-based: it does not track scratch
 // handed to other functions for release (annotate such hand-offs with
 // //qmc:allow poolpair and a justification).
+// poolpair diagnostic formats.
+const (
+	msgPoolUnbound = "mat.GetScratch result is not bound to a variable, so it can never be returned with PutScratch"
+	msgPoolEscape  = "scratch matrix %s escapes via return; allocate escaping buffers with mat.New"
+	msgPoolNoPut   = "scratch matrix %s from mat.GetScratch has no mat.PutScratch in this function"
+)
+
 var PoolPair = &Analyzer{
 	Name: "poolpair",
 	Doc:  "every mat.GetScratch needs a mat.PutScratch on the same function's paths",
-	Run:  runPoolPair,
+	Wave: 1,
+	Messages: []string{
+		msgPoolUnbound,
+		msgPoolEscape,
+		msgPoolNoPut,
+	},
+	Run: runPoolPair,
 }
 
 func runPoolPair(pass *Pass) error {
@@ -63,7 +76,7 @@ func checkPoolPairs(pass *Pass, file *ast.File, fd *ast.FuncDecl) {
 				if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
 					gets[id.Name] = &scratch{get: call}
 				} else {
-					pass.Reportf(call.Pos(), "mat.GetScratch result is not bound to a variable, so it can never be returned with PutScratch")
+					pass.Reportf(call.Pos(), msgPoolUnbound)
 				}
 			}
 		case *ast.CallExpr:
@@ -77,7 +90,7 @@ func checkPoolPairs(pass *Pass, file *ast.File, fd *ast.FuncDecl) {
 			// A bare Get used directly as an argument or statement leaks.
 			if isMatCall(n, "GetScratch") {
 				if !isAssignedCall(fd.Body, n) {
-					pass.Reportf(n.Pos(), "mat.GetScratch result is not bound to a variable, so it can never be returned with PutScratch")
+					pass.Reportf(n.Pos(), msgPoolUnbound)
 				}
 			}
 		case *ast.ReturnStmt:
@@ -91,11 +104,11 @@ func checkPoolPairs(pass *Pass, file *ast.File, fd *ast.FuncDecl) {
 	for name, s := range gets {
 		for _, r := range returned {
 			if r == name {
-				pass.Reportf(s.get.Pos(), "scratch matrix %s escapes via return; allocate escaping buffers with mat.New", name)
+				pass.Reportf(s.get.Pos(), msgPoolEscape, name)
 			}
 		}
 		if !s.put {
-			pass.Reportf(s.get.Pos(), "scratch matrix %s from mat.GetScratch has no mat.PutScratch in this function", name)
+			pass.Reportf(s.get.Pos(), msgPoolNoPut, name)
 		}
 	}
 }

@@ -12,10 +12,17 @@ import (
 // rand source — seeded from the clock, shared across goroutines — breaks
 // all three silently. All randomness flows through the deterministic
 // xoshiro256** streams of internal/rng.
+// rngdiscipline diagnostic format.
+const msgRngImport = "import of %s outside internal/rng breaks deterministic trajectories; use rng.New/rng.NewStream"
+
 var RngDiscipline = &Analyzer{
 	Name: "rngdiscipline",
 	Doc:  "math/rand is forbidden outside internal/rng",
-	Run:  runRngDiscipline,
+	Wave: 1,
+	Messages: []string{
+		msgRngImport,
+	},
+	Run: runRngDiscipline,
 }
 
 func runRngDiscipline(pass *Pass) error {
@@ -26,7 +33,7 @@ func runRngDiscipline(pass *Pass) error {
 		for _, imp := range f.Imports {
 			path := strings.Trim(imp.Path.Value, `"`)
 			if path == "math/rand" || path == "math/rand/v2" {
-				pass.Reportf(imp.Pos(), "import of %s outside internal/rng breaks deterministic trajectories; use rng.New/rng.NewStream", path)
+				pass.Reportf(imp.Pos(), msgRngImport, path)
 			}
 		}
 	}

@@ -14,10 +14,21 @@ import (
 // it against, so overlap accounting and the launch-overhead ledger silently
 // drift from the executed schedule. Reads (the accessors' atomic.Load) are
 // fine; only writes are ordered.
+// streamorder diagnostic formats.
+const (
+	msgStreamWrite       = "write to device clock field %s outside a Stream/Graph method bypasses stream-ordered timing; charge through a Stream"
+	msgStreamAtomicWrite = "atomic write to device clock field %s outside a Stream/Graph method bypasses stream-ordered timing; charge through a Stream"
+)
+
 var StreamOrder = &Analyzer{
 	Name: "streamorder",
 	Doc:  "Device clock state must be written through a Stream or Graph",
-	Run:  runStreamOrder,
+	Wave: 1,
+	Messages: []string{
+		msgStreamWrite,
+		msgStreamAtomicWrite,
+	},
+	Run: runStreamOrder,
 }
 
 // streamClockFields is the device/stream modeled-clock state guarded by the
@@ -57,12 +68,12 @@ func runStreamOrder(pass *Pass) error {
 				case *ast.AssignStmt:
 					for _, lhs := range n.Lhs {
 						if name, ok := clockFieldSelector(lhs); ok {
-							pass.Reportf(lhs.Pos(), "write to device clock field %s outside a Stream/Graph method bypasses stream-ordered timing; charge through a Stream", name)
+							pass.Reportf(lhs.Pos(), msgStreamWrite, name)
 						}
 					}
 				case *ast.IncDecStmt:
 					if name, ok := clockFieldSelector(n.X); ok {
-						pass.Reportf(n.Pos(), "write to device clock field %s outside a Stream/Graph method bypasses stream-ordered timing; charge through a Stream", name)
+						pass.Reportf(n.Pos(), msgStreamWrite, name)
 					}
 				case *ast.CallExpr:
 					sel, ok := n.Fun.(*ast.SelectorExpr)
@@ -77,7 +88,7 @@ func runStreamOrder(pass *Pass) error {
 					}
 					if addr, ok := n.Args[0].(*ast.UnaryExpr); ok && addr.Op == token.AND {
 						if name, ok := clockFieldSelector(addr.X); ok {
-							pass.Reportf(n.Pos(), "atomic write to device clock field %s outside a Stream/Graph method bypasses stream-ordered timing; charge through a Stream", name)
+							pass.Reportf(n.Pos(), msgStreamAtomicWrite, name)
 						}
 					}
 				}

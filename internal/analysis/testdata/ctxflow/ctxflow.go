@@ -1,0 +1,76 @@
+package fixture
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// leak: the cancel func is never deferred, called, or stored.
+func leakPlain() context.Context {
+	ctx, cancel := context.WithCancel(context.Background()) // want "never deferred, called, or stored"
+	_ = cancel
+	return ctx
+}
+
+// discard: binding the cancel func to _ can never be undone.
+func discard() context.Context {
+	ctx, _ := context.WithTimeout(context.Background(), time.Second) // want "discards its cancel func"
+	return ctx
+}
+
+// misclassify: ctx.Err() after cancel() is non-nil unconditionally.
+func misclassify(run func(context.Context) error) bool {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := run(ctx)
+	cancel()
+	interrupted := ctx.Err() != nil && err != nil // want "non-nil unconditionally"
+	return interrupted
+}
+
+// misclassifyIs: errors.Is(err, context.Canceled) after cancel().
+func misclassifyIs(run func(context.Context) error) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	err := run(ctx)
+	cancel()
+	return errors.Is(err, context.Canceled) // want "move the classification above"
+}
+
+// deferred is the canonical clean shape: classification may follow a
+// *deferred* cancel freely.
+func deferred(run func(context.Context) error) bool {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := run(ctx)
+	return ctx.Err() != nil && errors.Is(err, context.Canceled)
+}
+
+// deferredLit: cancel inside a deferred closure counts as deferred.
+func deferredLit(run func(context.Context) error) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() {
+		cancel()
+	}()
+	return run(ctx)
+}
+
+// classifyFirst is the PR 9 fix shape: capture before canceling.
+func classifyFirst(run func(context.Context) error) bool {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := run(ctx)
+	interrupted := ctx.Err() != nil && errors.Is(err, context.Canceled)
+	cancel()
+	return interrupted
+}
+
+// holder stores a cancel func for another goroutine to call.
+type holder struct {
+	stop context.CancelFunc
+}
+
+// escapes: storing the cancel func hands ownership elsewhere — clean.
+func escapes(h *holder) context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	h.stop = cancel
+	return ctx
+}

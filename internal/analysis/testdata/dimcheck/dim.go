@@ -57,3 +57,10 @@ func copyBad() {
 	dst := mat.New(5, 3)
 	dst.CopyFrom(src) // want "CopyFrom source is 3x5"
 }
+
+func badOutputCols() {
+	a := mat.New(4, 3)
+	b := mat.New(3, 7)
+	c := mat.New(4, 6)
+	blas.Gemm(false, false, 1, a, b, 0, c) // want "output cols disagree"
+}

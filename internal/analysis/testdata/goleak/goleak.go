@@ -1,0 +1,79 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+var workCh = make(chan int)
+
+// spin has no drain path at all: the classic leaked hot loop.
+func spin() {
+	go func() { // want "no visible drain path"
+		for {
+			compute()
+		}
+	}()
+}
+
+// sendOnly blocks forever once the receiver is gone; a send is not a
+// drain path.
+func sendOnly(out chan<- int) {
+	go func() { // want "no visible drain path"
+		out <- compute()
+	}()
+}
+
+// dynamic callees cannot be inspected from here.
+func dynamic(f func()) {
+	go f() // want "not visible from this package"
+}
+
+// selectDone drains via select on ctx.Done().
+func selectDone(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case workCh <- compute():
+			}
+		}
+	}()
+}
+
+// waitGroup drains via wg.Done with the Wait on the spawner's side.
+func waitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		compute()
+	}()
+}
+
+// worker ranges over a channel: closed channel, drained goroutine.
+func worker() {
+	for w := range workCh {
+		_ = w
+	}
+}
+
+// named resolves the same-package callee one level deep.
+func named() {
+	go worker()
+}
+
+// method drain resolution works through selector callees too.
+type pool struct{ ch chan int }
+
+func (p *pool) loop() {
+	for v := range p.ch {
+		_ = v
+	}
+}
+
+func (p *pool) start() {
+	go p.loop()
+}
+
+func compute() int { return 1 }

@@ -1,0 +1,57 @@
+package fixture
+
+import "sync"
+
+// registry models the service-style guarded struct.
+type registry struct {
+	mu sync.Mutex
+	//qmc:guarded(mu)
+	entries []string
+	count   int //qmc:guarded(mu)
+}
+
+// broken claims //qmc:guarded(nope) against a mutex that does not exist.
+type broken struct {
+	mu sync.Mutex
+	//qmc:guarded(nope)
+	data int // want "names no sync.Mutex/sync.RWMutex field"
+}
+
+// Add locks the owning mutex: clean.
+func (r *registry) Add(s string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = append(r.entries, s)
+	r.count++
+}
+
+// lockedHelper documents the caller-holds contract: clean.
+//
+//qmc:locked(mu)
+func (r *registry) lockedHelper() int {
+	return r.count
+}
+
+// Racy touches guarded state with no lock and no contract.
+func (r *registry) Racy() int {
+	return r.count // want "neither locks it nor declares"
+}
+
+// racyCrossFunc is racy even from a non-method helper.
+func racyCrossFunc(r *registry) []string {
+	return r.entries // want "neither locks it nor declares"
+}
+
+// crossStruct holds r's lock explicitly from outside: clean.
+type wrapper struct{ r *registry }
+
+func (w *wrapper) snapshot() int {
+	w.r.mu.Lock()
+	defer w.r.mu.Unlock()
+	return w.r.count
+}
+
+// construction through a composite literal is not a shared access.
+func fresh() *registry {
+	return &registry{count: 1}
+}

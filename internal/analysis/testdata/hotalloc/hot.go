@@ -40,3 +40,22 @@ func hotPanicOK(n int) {
 		panic(fmt.Sprintf("fixture: negative dimension %d", n)) // failure path: exempt
 	}
 }
+
+//qmc:hot
+func hotMapAndGo(done chan struct{}) map[int]int {
+	m := map[int]int{} // want "builds a map literal"
+	go func() {        // want "spawns a goroutine" "creates a closure"
+		<-done
+	}()
+	return m
+}
+
+type emitter struct{}
+
+func (emitter) fire() {}
+
+//qmc:hot
+func hotMethodValue(e emitter) func() {
+	h := e.fire // want "takes a method value of fire"
+	return h
+}

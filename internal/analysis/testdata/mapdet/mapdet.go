@@ -1,0 +1,57 @@
+package fixture
+
+import "sort"
+
+// encode feeds wire output: ranging the map makes the document order
+// random per process.
+func encode(params map[string]float64) []string {
+	var out []string
+	for k, v := range params { // want "iteration order is randomized"
+		out = append(out, k+":"+itoa(int(v)))
+		emit(k)
+	}
+	return out
+}
+
+// sum looks harmless but float addition is order-sensitive.
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "iteration order is randomized"
+		total += v
+	}
+	return total
+}
+
+// copyMap is the recognized map-to-map idiom: order unobservable.
+func copyMap(src map[string]float64) map[string]float64 {
+	dst := make(map[string]float64, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// sortedKeys is the recognized collect-then-sort idiom.
+func sortedKeys(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		if m[k] != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// slices and arrays range deterministically; no finding.
+func overSlice(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func emit(string) {}
+
+func itoa(int) string { return "" }

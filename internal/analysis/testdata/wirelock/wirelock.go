@@ -1,0 +1,24 @@
+package fixture // want "no longer exists in this package"
+
+// FixtureSchemaVersion was bumped here without regenerating the locked
+// manifest (which still records 1.0).
+const FixtureSchemaVersion = "1.1" // want "does not match the locked manifest value"
+
+// Doc is the locked wire root; the manifest records field B with tag
+// json:"b", so the rename below is drift.
+type Doc struct { // want "diverges from its locked manifest"
+	A   int    `json:"a"`
+	B   string `json:"b_renamed"`
+	Sub Sub    `json:"sub"`
+	New Fresh  `json:"new"`
+}
+
+// Sub matches its manifest entry exactly: no finding.
+type Sub struct {
+	X float64 `json:"x"`
+}
+
+// Fresh is reachable from Doc but absent from the manifest.
+type Fresh struct { // want "absent from manifest"
+	Y int `json:"y"`
+}

@@ -1,0 +1,7 @@
+package fixture // want "is missing"
+
+const FixtureSchemaVersion = "1.0"
+
+type Doc struct {
+	A int `json:"a"`
+}

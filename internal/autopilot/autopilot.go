@@ -228,21 +228,21 @@ type Controller struct {
 	cfg Config
 
 	mu sync.Mutex
-	st State
+	st State //qmc:guarded(mu)
 	// Per-sweep sample window: max and count per probe, reset by EndSweep.
-	winMax       [obs.NumProbes]float64
-	winN         [obs.NumProbes]int64
-	winNonFinite bool
+	winMax       [obs.NumProbes]float64 //qmc:guarded(mu)
+	winN         [obs.NumProbes]int64   //qmc:guarded(mu)
+	winNonFinite bool                   //qmc:guarded(mu)
 	// lastRes is the most recent finite strat residual across sweeps: the
 	// residual is sampled at cadence frequency, so most sweep windows have
 	// no residual sample and growth gates on the last known reading.
-	lastRes float64
-	resSeen bool
+	lastRes float64 //qmc:guarded(mu)
+	resSeen bool    //qmc:guarded(mu)
 
 	initialK          int
 	initialCheckEvery int
-	decisions         []obs.AutopilotDecision
-	decisionsDropped  bool
+	decisions         []obs.AutopilotDecision //qmc:guarded(mu)
+	decisionsDropped  bool                    //qmc:guarded(mu)
 }
 
 // New builds a controller from cfg (zero optional fields take defaults).
@@ -423,6 +423,8 @@ func (c *Controller) breachSignal(reason string, winMax [obs.NumProbes]float64) 
 // streak: at least one sample arrived, every gated probe with samples is
 // under its floor, and the last known residual (sampled sparsely, at
 // cadence frequency) is under the residual floor.
+//
+//qmc:locked(mu)
 func (c *Controller) stable(winMax [obs.NumProbes]float64, winN [obs.NumProbes]int64) bool {
 	var total int64
 	for _, n := range winN {
@@ -444,6 +446,8 @@ func (c *Controller) stable(winMax [obs.NumProbes]float64, winN [obs.NumProbes]i
 }
 
 // record appends to the capped decision log. Caller holds c.mu.
+//
+//qmc:locked(mu)
 func (c *Controller) record(reason string, signal float64) {
 	if len(c.decisions) >= c.cfg.MaxDecisions {
 		c.decisionsDropped = true

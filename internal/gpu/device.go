@@ -79,8 +79,8 @@ type Device struct {
 	model DeviceModel
 
 	mu      sync.Mutex // guards the stream list only
-	streams []*Stream
-	s0      *Stream // default stream backing the legacy synchronous API
+	streams []*Stream  //qmc:guarded(mu)
+	s0      *Stream    // default stream backing the legacy synchronous API
 
 	// Modeled clock state, all atomic nanosecond/count cells. Written only
 	// by Stream and Graph methods (and Reset) — the qmclint streamorder

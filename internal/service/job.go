@@ -158,20 +158,20 @@ type job struct {
 
 	// All fields below are guarded by mu.
 	mu        sync.Mutex
-	state     JobState
-	errMsg    string
-	cached    bool
-	shards    []*shardState
-	agg       *Aggregator
-	result    *JobResult
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	state     JobState      //qmc:guarded(mu)
+	errMsg    string        //qmc:guarded(mu)
+	cached    bool          //qmc:guarded(mu)
+	shards    []*shardState //qmc:guarded(mu)
+	agg       *Aggregator   //qmc:guarded(mu)
+	result    *JobResult    //qmc:guarded(mu)
+	submitted time.Time     //qmc:guarded(mu)
+	started   time.Time     //qmc:guarded(mu)
+	finished  time.Time     //qmc:guarded(mu)
 
-	events   []Event
-	firstSeq int
-	nextSeq  int
-	notify   chan struct{} // closed+replaced on every event (broadcast)
+	events   []Event       //qmc:guarded(mu)
+	firstSeq int           //qmc:guarded(mu)
+	nextSeq  int           //qmc:guarded(mu)
+	notify   chan struct{} //qmc:guarded(mu) closed+replaced on every event (broadcast)
 }
 
 // shardState is the live bookkeeping of one shard.
@@ -189,25 +189,26 @@ type shardState struct {
 
 func newJob(id string, req JobRequest, hash string, ckptDir string) *job {
 	ctx, cancel := context.WithCancel(background())
-	j := &job{
-		id: id, req: req, hash: hash,
-		ctx: ctx, cancel: cancel,
-		state:     StateQueued,
-		agg:       NewAggregator(req.Shards),
-		submitted: time.Now(),
-		notify:    make(chan struct{}),
-	}
+	shards := make([]*shardState, 0, req.Shards)
 	for i := 0; i < req.Shards; i++ {
 		cfg := req.Config
 		cfg.Seed = core.WalkerSeed(req.Config.Seed, i)
-		j.shards = append(j.shards, &shardState{
+		shards = append(shards, &shardState{
 			idx:      i,
 			cfg:      cfg,
 			state:    StateQueued,
 			ckptPath: fmt.Sprintf("%s/%s-shard%04d.ckpt", ckptDir, id, i),
 		})
 	}
-	return j
+	return &job{
+		id: id, req: req, hash: hash,
+		ctx: ctx, cancel: cancel,
+		state:     StateQueued,
+		shards:    shards,
+		agg:       NewAggregator(req.Shards),
+		submitted: time.Now(),
+		notify:    make(chan struct{}),
+	}
 }
 
 // cancelCtx cancels the job's context without touching state (Close path;
@@ -215,6 +216,8 @@ func newJob(id string, req JobRequest, hash string, ckptDir string) *job {
 func (j *job) cancelCtx() { j.cancel() }
 
 // emit appends an event under the job lock and wakes stream readers.
+//
+//qmc:locked(mu)
 func (j *job) emit(e Event) {
 	e.SchemaVersion = JobSchemaVersion
 	e.Seq = j.nextSeq
@@ -231,6 +234,8 @@ func (j *job) emit(e Event) {
 }
 
 // status builds the wire status document under the job lock.
+//
+//qmc:locked(mu)
 func (j *job) status() *JobStatus {
 	st := &JobStatus{
 		SchemaVersion:   JobSchemaVersion,

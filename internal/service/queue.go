@@ -22,8 +22,8 @@ type shardTask struct {
 type scheduler struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	fifo   []*shardTask
-	closed bool
+	fifo   []*shardTask //qmc:guarded(mu)
+	closed bool         //qmc:guarded(mu)
 }
 
 func newScheduler() *scheduler {
@@ -316,6 +316,8 @@ func (s *Server) runTask(t *shardTask) {
 
 // finishJob merges the landed shards, stores the result, caches it and
 // retires the job. Caller holds j.mu.
+//
+//qmc:locked(mu)
 func (s *Server) finishJob(j *job) {
 	merged, err := j.agg.Final()
 	if err != nil {
@@ -342,6 +344,8 @@ func (s *Server) finishJob(j *job) {
 
 // failJob retires the job with an error, canceling the remaining shards.
 // Caller holds j.mu.
+//
+//qmc:locked(mu)
 func (s *Server) failJob(j *job, msg string) {
 	if j.state.terminal() {
 		return
@@ -365,6 +369,8 @@ func (s *Server) failJob(j *job, msg string) {
 // resume point before re-entering the queue, so removing earlier would
 // race the save). Without this, failed and canceled jobs would leak .ckpt
 // files into a long-lived user-provided CheckpointDir. Caller holds j.mu.
+//
+//qmc:locked(mu)
 func (s *Server) maybeCleanupFiles(j *job) {
 	if !j.state.terminal() {
 		return
@@ -380,6 +386,8 @@ func (s *Server) maybeCleanupFiles(j *job) {
 // cleanupJobFiles removes any checkpoint files the job's shards left
 // behind. Caller holds j.mu (paths are immutable, removal is idempotent —
 // a missing file is the common case and not an error worth surfacing).
+//
+//qmc:locked(mu)
 func (s *Server) cleanupJobFiles(j *job) {
 	for _, sh := range j.shards {
 		_ = os.Remove(sh.ckptPath)

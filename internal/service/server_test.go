@@ -378,3 +378,57 @@ func TestHTTPSurface(t *testing.T) {
 		t.Errorf("stats = %+v", sstats)
 	}
 }
+
+// TestCloseCancelsEveryJobInOrder pins the Close teardown path: the live
+// snapshot must be taken from s.order (submission order), not from ranging
+// the jobs map, so it covers every job exactly once and cancels in a
+// deterministic sequence. A skipped entry would leave a job context alive
+// past Close.
+func TestCloseCancelsEveryJobInOrder(t *testing.T) {
+	svc, err := New(Options{Workers: 1, CheckpointDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cfg := fastConfig()
+	cfg.MeasSweeps = 200 // slow enough that later submissions stay queued
+	var ids []string
+	for i := 0; i < 4; i++ {
+		c := cfg
+		c.Seed = uint64(100 + i)
+		st, err := svc.Submit(JobRequest{Config: c, NoCache: true})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	svc.mu.Lock()
+	if got, want := len(svc.order), len(ids); got != want {
+		svc.mu.Unlock()
+		t.Fatalf("order tracks %d jobs, want %d", got, want)
+	}
+	for i, id := range svc.order {
+		if id != ids[i] {
+			svc.mu.Unlock()
+			t.Fatalf("order[%d] = %s, want %s (submission order)", i, id, ids[i])
+		}
+	}
+	svc.mu.Unlock()
+
+	if err := svc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	for _, id := range ids {
+		j, ok := svc.jobs[id]
+		if !ok {
+			t.Fatalf("job %s missing after Close", id)
+		}
+		select {
+		case <-j.ctx.Done():
+		default:
+			t.Errorf("job %s context still alive after Close", id)
+		}
+	}
+}

@@ -91,10 +91,10 @@ type Server struct {
 	sched *scheduler
 
 	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // submission order, for listing
-	nextID int
-	closed bool
+	jobs   map[string]*job //qmc:guarded(mu)
+	order  []string        //qmc:guarded(mu) submission order, for listing
+	nextID int             //qmc:guarded(mu)
+	closed bool            //qmc:guarded(mu)
 
 	ckptDir    string
 	ownCkptDir bool
@@ -153,9 +153,9 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	live := make([]*job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		live = append(live, j)
+	live := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		live = append(live, s.jobs[id])
 	}
 	s.mu.Unlock()
 	for _, j := range live {
@@ -214,6 +214,8 @@ func (s *Server) Stats() Stats {
 // are never touched, and the result cache is unaffected — identical physics
 // resubmitted after eviction is still a cache hit. Caller holds s.mu; job
 // locks nest inside it.
+//
+//qmc:locked(mu)
 func (s *Server) evictFinishedLocked() {
 	if s.opts.RetainJobs < 0 {
 		return

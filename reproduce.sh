@@ -20,8 +20,10 @@ if [ -n "$UNFORMATTED" ]; then
     exit 1
 fi
 go vet ./...
-go run ./cmd/qmclint ./...
-go test -race ./internal/parallel/ ./internal/blas/ ./internal/update/ ./internal/greens/ ./internal/obs/ ./internal/autopilot/ ./internal/core/ ./internal/gpu/ ./internal/service/
+# All 13 analyzers (waves 1+2) over the whole tree; any finding exits 1.
+# The run also appends one analyzer/finding-count record to BENCH_lint.json.
+go run ./cmd/qmclint -json BENCH_lint.json ./...
+go test -race ./internal/parallel/ ./internal/blas/ ./internal/update/ ./internal/greens/ ./internal/obs/ ./internal/autopilot/ ./internal/core/ ./internal/gpu/ ./internal/service/ ./internal/analysis/
 echo "== Verify: qmcdebug sanitizer build (NaN/Inf scans, drift asserts, pool bookkeeping)"
 go test -tags qmcdebug ./internal/...
 echo "== Verify: fuzz kernels against reference implementations (10s each)"
